@@ -1,0 +1,101 @@
+// E2 — section 3.1's levels-of-control trade-off.
+//
+// "This can be useful in cases where there is a real time constraint on
+//  the amount of time spent configuring the device." (single connections)
+// "The cost is longer execution time, and there is no guarantee that an
+//  unused path even exists." (templates)
+//
+// Measures one connect+disconnect cycle of the same logical connection
+// (S1_YQ of (5,7) to an input of (6,8)) at every API level. Expected
+// shape: direct PIPs < path < predefined/user template < maze.
+#include <benchmark/benchmark.h>
+
+#include "arch/patterns.h"
+#include "bench/bench_util.h"
+
+using namespace jroute;
+using namespace xcvsim;
+
+namespace {
+
+jrbench::Device& dev() { return jrbench::sharedDevice(xcv50()); }
+
+const int kTurn = singleTurn(Dir::West, Dir::North, 1)[0];
+const int kPin = clbInFromSingle(kTurn)[0];
+
+void BM_Level1_DirectPips(benchmark::State& state) {
+  Router router(dev().fabric);
+  for (auto _ : state) {
+    router.route(5, 7, S1_YQ, omux(1));
+    router.route(5, 7, omux(1), single(Dir::East, 1));
+    router.route(5, 8, single(Dir::West, 1), single(Dir::North, kTurn));
+    router.route(6, 8, single(Dir::South, kTurn), clbIn(kPin));
+    router.unroute(EndPoint(Pin(5, 7, S1_YQ)));
+  }
+  state.SetLabel("4 PIPs, user-chosen wires");
+}
+BENCHMARK(BM_Level1_DirectPips);
+
+void BM_Level2_Path(benchmark::State& state) {
+  Router router(dev().fabric);
+  const Path path(5, 7, {S1_YQ, omux(1), single(Dir::East, 1),
+                         single(Dir::North, kTurn), clbIn(kPin)});
+  for (auto _ : state) {
+    router.route(path);
+    router.unroute(EndPoint(Pin(5, 7, S1_YQ)));
+  }
+  state.SetLabel("explicit path, router finds PIPs");
+}
+BENCHMARK(BM_Level2_Path);
+
+void BM_Level3_UserTemplate(benchmark::State& state) {
+  Router router(dev().fabric);
+  const Template tmpl{TemplateValue::OUTMUX, TemplateValue::EAST1,
+                      TemplateValue::NORTH1, TemplateValue::CLBIN};
+  for (auto _ : state) {
+    router.route(Pin(5, 7, S1_YQ), S0F3, tmpl);
+    router.unroute(EndPoint(Pin(5, 7, S1_YQ)));
+  }
+  state.SetLabel("router picks wires along template");
+}
+BENCHMARK(BM_Level3_UserTemplate);
+
+void BM_Level4_AutoTemplateFirst(benchmark::State& state) {
+  Router router(dev().fabric);
+  for (auto _ : state) {
+    router.route(EndPoint(Pin(5, 7, S1_YQ)), EndPoint(Pin(6, 8, S0F3)));
+    router.unroute(EndPoint(Pin(5, 7, S1_YQ)));
+  }
+  state.SetLabel("auto p2p, predefined templates");
+}
+BENCHMARK(BM_Level4_AutoTemplateFirst);
+
+void BM_Level4_AutoMazeOnly(benchmark::State& state) {
+  RouterOptions opts;
+  opts.templateFirst = false;
+  Router router(dev().fabric, opts);
+  for (auto _ : state) {
+    router.route(EndPoint(Pin(5, 7, S1_YQ)), EndPoint(Pin(6, 8, S0F3)));
+    router.unroute(EndPoint(Pin(5, 7, S1_YQ)));
+  }
+  state.SetLabel("auto p2p, maze fallback forced");
+}
+BENCHMARK(BM_Level4_AutoMazeOnly);
+
+void BM_Level5_Fanout4(benchmark::State& state) {
+  Router router(dev().fabric);
+  const std::vector<EndPoint> sinks{
+      EndPoint(Pin(6, 8, S0F3)), EndPoint(Pin(5, 10, S0F1)),
+      EndPoint(Pin(9, 9, S0G1)), EndPoint(Pin(3, 12, S1F2))};
+  for (auto _ : state) {
+    router.route(EndPoint(Pin(5, 7, S1_YQ)),
+                 std::span<const EndPoint>(sinks));
+    router.unroute(EndPoint(Pin(5, 7, S1_YQ)));
+  }
+  state.SetLabel("auto fanout, 4 sinks, tree reuse");
+}
+BENCHMARK(BM_Level5_Fanout4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// E9 — section 3.4: contention protection and its cost.
+//
+//   "The router makes sure that this situation does not occur, and
+//    therefore protects the device. An exception is thrown in cases where
+//    the user tries to make connections that create contention. In the
+//    auto-routing calls, the router checks to see if a wire is already
+//    used, which avoids contention."
+//
+// Microbenchmarks of the protection machinery: the isOn() query, the
+// validated PIP toggle (every turnOn re-checks ownership and drivers),
+// and the cost of a rejected contention attempt including the exception.
+#include <benchmark/benchmark.h>
+
+#include "arch/patterns.h"
+#include "bench/bench_util.h"
+
+using namespace jroute;
+using namespace xcvsim;
+
+namespace {
+
+jrbench::Device& dev() { return jrbench::sharedDevice(xcv50()); }
+
+void BM_IsOnQuery(benchmark::State& state) {
+  Router router(dev().fabric);
+  router.route(5, 7, S1_YQ, omux(1));
+  int on = 0;
+  for (auto _ : state) {
+    on += router.isOn(5, 7, omux(1)) ? 1 : 0;
+    on += router.isOn(5, 7, omux(2)) ? 1 : 0;
+    benchmark::DoNotOptimize(on);
+  }
+  router.unroute(EndPoint(Pin(5, 7, S1_YQ)));
+  state.SetLabel("2 queries per iteration");
+}
+BENCHMARK(BM_IsOnQuery);
+
+void BM_ValidatedPipToggle(benchmark::State& state) {
+  auto& fabric = dev().fabric;
+  const auto& g = fabric.graph();
+  const auto u = g.nodeAt({5, 7}, S1_YQ);
+  const auto v = g.nodeAt({5, 7}, omux(1));
+  const auto e = g.findEdge(u, v, {5, 7});
+  const auto net = fabric.createNet(u, "bench");
+  for (auto _ : state) {
+    fabric.turnOn(e, net);   // full ownership + driver + contention checks
+    fabric.turnOff(e);
+  }
+  fabric.removeNet(net);
+  state.SetLabel("checked turnOn + turnOff, incl. bitstream write-through");
+}
+BENCHMARK(BM_ValidatedPipToggle);
+
+void BM_ContentionRejected(benchmark::State& state) {
+  auto& fabric = dev().fabric;
+  const auto& g = fabric.graph();
+  // Net A drives a single track; net B holds the straight-through PIP
+  // into the same track and keeps retrying it.
+  Router router(fabric);
+  router.route(5, 7, S1_YQ, omux(1));
+  router.route(5, 7, omux(1), single(Dir::East, 1));
+  const auto track = g.nodeAt({5, 7}, single(Dir::East, 1));
+
+  Router other(fabric);
+  other.route(5, 9, S1_YQ, omux(1));
+  other.route(5, 9, omux(1), single(Dir::West, 1));
+  const auto bTrack = g.nodeAt({5, 9}, single(Dir::West, 1));
+  const auto hazard = g.findEdge(bTrack, track, {5, 8});
+  const auto net = fabric.netOf(bTrack);
+
+  size_t caught = 0;
+  for (auto _ : state) {
+    try {
+      fabric.turnOn(hazard, net);
+    } catch (const ContentionError&) {
+      ++caught;
+    }
+  }
+  benchmark::DoNotOptimize(caught);
+  router.unroute(EndPoint(Pin(5, 7, S1_YQ)));
+  other.unroute(EndPoint(Pin(5, 9, S1_YQ)));
+  state.SetLabel("detect + throw + catch per iteration");
+}
+BENCHMARK(BM_ContentionRejected);
+
+void BM_AutoRouteWithUsedChecks(benchmark::State& state) {
+  // End-to-end auto route whose inner loops run the in-use checks on
+  // every candidate wire — the protection cost in its natural habitat.
+  Router router(dev().fabric);
+  for (auto _ : state) {
+    router.route(EndPoint(Pin(8, 8, S1_YQ)), EndPoint(Pin(10, 11, S0F3)));
+    router.unroute(EndPoint(Pin(8, 8, S1_YQ)));
+  }
+  state.SetLabel("auto p2p route+unroute cycle");
+}
+BENCHMARK(BM_AutoRouteWithUsedChecks);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Shared helpers for the experiment harnesses (E1..E10).
+//
+// Each bench binary regenerates one experiment from EXPERIMENTS.md and
+// prints a self-contained table; the rows are stable across runs because
+// every workload is seeded.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bitstream/pip_table.h"
+#include "core/router.h"
+#include "rrg/graph.h"
+
+namespace jrbench {
+
+/// Wall-clock seconds of one call.
+inline double secondsOf(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// A fully built simulated device: graph + PIP database + blank fabric.
+struct Device {
+  explicit Device(const xcvsim::DeviceSpec& spec)
+      : graph(spec), arch(spec), table(arch), fabric(graph, table) {}
+
+  xcvsim::Graph graph;
+  xcvsim::ArchDb arch;
+  xcvsim::PipTable table;
+  xcvsim::Fabric fabric;
+};
+
+/// Device instances are expensive; share one per device name per process.
+inline Device& sharedDevice(const xcvsim::DeviceSpec& spec) {
+  static std::unique_ptr<Device> dev;
+  static std::string name;
+  if (!dev || name != spec.name) {
+    dev = std::make_unique<Device>(spec);
+    name = std::string(spec.name);
+  }
+  return *dev;
+}
+
+}  // namespace jrbench

@@ -1,0 +1,66 @@
+// Block RAM at run time: a coefficient memory feeding a datapath.
+//
+// Demonstrates the paper's last future-work item end to end: a BlockRam
+// core is placed on the west BRAM column, loaded with filter coefficients
+// through the configuration frames, wired port-to-port into a multiplier
+// datapath, and then HOT-SWAPPED to a new coefficient set — a pure
+// partial-reconfiguration update that leaves every route untouched.
+#include <cstdio>
+
+#include "bitstream/packets.h"
+#include "cores/block_ram.h"
+#include "cores/const_adder.h"
+#include "rtr/manager.h"
+#include "rtr/report.h"
+
+using namespace jroute;
+using namespace xcvsim;
+
+int main() {
+  Graph graph(xcv50());
+  PipTable table{ArchDb{xcv50()}};
+  Fabric fabric(graph, table);
+  Router router(fabric);
+  RtrManager mgr(router);
+
+  // The coefficient memory: block 1 of the west BRAM column (rows 4..7).
+  BlockRam coeffs(BramSide::West, 1);
+  mgr.install(coeffs, {4, 0});
+  const uint16_t lowpass[] = {0x0102, 0x0408, 0x1020, 0x4080};
+  coeffs.load(router, lowpass);
+  std::printf("coefficient RAM loaded: word0=0x%04X word3=0x%04X\n",
+              coeffs.readWord(router, 0), coeffs.readWord(router, 3));
+
+  // A small accumulator stage consumes the RAM's data outputs.
+  ConstAdder acc(8, 0);
+  mgr.install(acc, {4, 5});
+  const auto ramOut = coeffs.endPoints(BlockRam::kOutGroup);
+  const auto accIn = acc.endPoints(ConstAdder::kInGroup);
+  router.route(std::span<const EndPoint>(ramOut).first(8),
+               std::span<const EndPoint>(accIn));
+  std::printf("RAM data bus -> accumulator: %zu PIPs on\n",
+              fabric.onEdgeCount());
+
+  // Address lines arrive from a CLB counter-ish source two columns over.
+  router.route(EndPoint(Pin(5, 3, S0_X)),
+               EndPoint(*coeffs.getPorts(BlockRam::kAddrGroup)[0]));
+
+  // Hot swap: new coefficients, zero rerouting — count the frames.
+  fabric.jbits().bitstream().clearDirty();
+  const uint16_t highpass[] = {0x8040, 0x2010, 0x0804, 0x0201};
+  coeffs.load(router, highpass);
+  const auto delta = dirtyPackets(fabric.jbits().bitstream());
+  std::printf("coefficient hot-swap: %zu frames, routing untouched "
+              "(word0 now 0x%04X)\n",
+              delta.size(), coeffs.readWord(router, 0));
+
+  std::printf("%s", computeUtilization(fabric).toString().c_str());
+
+  // Tear down cleanly.
+  mgr.remove(acc);
+  mgr.remove(coeffs);
+  router.unroute(EndPoint(Pin(5, 3, S0_X)));
+  std::printf("teardown: %zu PIPs, %zu bits set\n", fabric.onEdgeCount(),
+              fabric.jbits().bitstream().popcount());
+  return 0;
+}

@@ -1,0 +1,182 @@
+// jrsh — an interactive/scripted shell over the JRoute API.
+//
+// The paper's section 1: "Since JRoute is an API, it allows users to
+// build tools based on it. These can range from debugging tools to
+// extensions that increase functionality." This is such a tool: a routing
+// shell that drives every API level from text commands, for bring-up
+// scripts and interactive poking.
+//
+//   $ ./jrsh               # read commands from stdin
+//   $ ./jrsh script.jr     # run a script
+//
+// Commands:
+//   device <NAME>                          bring up a family member
+//   route <r> <c> <from> <to>              level 1 single PIP
+//   auto  <r> <c> <wire>  <r> <c> <wire>   auto point-to-point
+//   fanout <r> <c> <wire>  <n> {<r> <c> <wire>}...
+//   unroute <r> <c> <wire>                 forward unroute
+//   rev     <r> <c> <wire>                 reverse unroute a sink
+//   trace   <r> <c> <wire>                 print the net
+//   ison    <r> <c> <wire>
+//   wire <NAME>                            look up a wire id by name
+//   map | util | nets                      occupancy map / report / nets
+//   save <file> | netlist <file>           bitfile / netlist export
+//   quit
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "bitstream/bitfile.h"
+#include "core/router.h"
+#include "rtr/boardscope.h"
+#include "rtr/netlist.h"
+#include "rtr/report.h"
+
+using namespace jroute;
+using namespace xcvsim;
+
+namespace {
+
+struct Session {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<PipTable> table;
+  std::unique_ptr<Fabric> fabric;
+  std::unique_ptr<Router> router;
+
+  void open(const std::string& name) {
+    const DeviceSpec& dev = deviceByName(name);
+    graph = std::make_unique<Graph>(dev);
+    table = std::make_unique<PipTable>(ArchDb{dev});
+    fabric = std::make_unique<Fabric>(*graph, *table);
+    router = std::make_unique<Router>(*fabric);
+    std::cout << "device " << name << ": " << graph->numNodes()
+              << " wires, " << graph->numEdges() << " PIPs\n";
+  }
+
+  bool ready() const { return router != nullptr; }
+};
+
+LocalWire lookupWire(const std::string& token) {
+  // Numeric id or symbolic name.
+  if (!token.empty() && (std::isdigit(token[0]) != 0)) {
+    return static_cast<LocalWire>(std::stoi(token));
+  }
+  for (LocalWire w = 0; w < kNumLocalWires; ++w) {
+    if (wireName(w) == token) return w;
+  }
+  throw ArgumentError("unknown wire '" + token + "'");
+}
+
+Pin readPin(std::istringstream& ls) {
+  int r, c;
+  std::string w;
+  if (!(ls >> r >> c >> w)) throw ArgumentError("expected <row> <col> <wire>");
+  return Pin(r, c, lookupWire(w));
+}
+
+bool handle(Session& s, const std::string& line) {
+  std::istringstream ls(line);
+  std::string cmd;
+  if (!(ls >> cmd) || cmd[0] == '#') return true;
+
+  if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == "device") {
+    std::string name;
+    ls >> name;
+    s.open(name);
+    return true;
+  }
+  if (cmd == "wire") {
+    std::string name;
+    ls >> name;
+    std::cout << name << " = " << lookupWire(name) << "\n";
+    return true;
+  }
+  if (!s.ready()) throw ArgumentError("run 'device <NAME>' first");
+
+  if (cmd == "route") {
+    int r, c;
+    std::string f, t;
+    if (!(ls >> r >> c >> f >> t)) throw ArgumentError("route args");
+    s.router->route(r, c, lookupWire(f), lookupWire(t));
+    std::cout << "on\n";
+  } else if (cmd == "auto") {
+    const Pin a = readPin(ls);
+    const Pin b = readPin(ls);
+    s.router->route(EndPoint(a), EndPoint(b));
+    std::cout << "routed ("
+              << (s.router->stats().lastMethod == RouteMethod::Maze
+                      ? "maze"
+                      : "template")
+              << ")\n";
+  } else if (cmd == "fanout") {
+    const Pin src = readPin(ls);
+    int n;
+    if (!(ls >> n)) throw ArgumentError("fanout count");
+    std::vector<EndPoint> sinks;
+    for (int i = 0; i < n; ++i) sinks.push_back(EndPoint(readPin(ls)));
+    s.router->route(EndPoint(src), std::span<const EndPoint>(sinks));
+    std::cout << "routed " << n << " sinks\n";
+  } else if (cmd == "unroute") {
+    s.router->unroute(EndPoint(readPin(ls)));
+    std::cout << "freed\n";
+  } else if (cmd == "rev") {
+    s.router->reverseUnroute(EndPoint(readPin(ls)));
+    std::cout << "branch freed\n";
+  } else if (cmd == "trace") {
+    std::cout << renderNet(*s.router, EndPoint(readPin(ls)));
+  } else if (cmd == "ison") {
+    const Pin p = readPin(ls);
+    std::cout << (s.router->isOn(p.rc.row, p.rc.col, p.wire) ? "yes" : "no")
+              << "\n";
+  } else if (cmd == "map") {
+    std::cout << renderUsageMap(*s.fabric);
+  } else if (cmd == "util") {
+    std::cout << computeUtilization(*s.fabric).toString();
+  } else if (cmd == "nets") {
+    std::cout << netSummary(*s.fabric);
+  } else if (cmd == "save") {
+    std::string file;
+    ls >> file;
+    std::ofstream os(file, std::ios::binary);
+    writeBitfile(os, s.fabric->jbits().bitstream(), "jrsh");
+    std::cout << "wrote " << file << "\n";
+  } else if (cmd == "netlist") {
+    std::string file;
+    ls >> file;
+    std::ofstream os(file);
+    os << exportNetlist(*s.fabric);
+    std::cout << "wrote " << file << "\n";
+  } else {
+    throw ArgumentError("unknown command '" + cmd + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::ifstream scriptFile;
+  std::istream* in = &std::cin;
+  if (argc > 1) {
+    scriptFile.open(argv[1]);
+    if (!scriptFile) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    in = &scriptFile;
+  }
+
+  Session session;
+  std::string line;
+  while (std::getline(*in, line)) {
+    try {
+      if (!handle(session, line)) break;
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+      if (in != &std::cin) return 1;  // scripts fail fast
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "arch/device.h"
+
+#include <array>
+#include <string>
+
+#include "common/error.h"
+
+namespace xcvsim {
+namespace {
+
+// CLB array dimensions from the Virtex data sheet (XCV50 .. XCV1000).
+constexpr std::array<DeviceSpec, 9> kFamily = {{
+    {"XCV50", 16, 24},
+    {"XCV100", 20, 30},
+    {"XCV150", 24, 36},
+    {"XCV200", 28, 42},
+    {"XCV300", 32, 48},
+    {"XCV400", 40, 60},
+    {"XCV600", 48, 72},
+    {"XCV800", 56, 84},
+    {"XCV1000", 64, 96},
+}};
+
+}  // namespace
+
+std::span<const DeviceSpec> deviceFamily() { return kFamily; }
+
+const DeviceSpec& deviceByName(std::string_view name) {
+  for (const auto& d : kFamily) {
+    if (d.name == name) return d;
+  }
+  throw ArgumentError("unknown device: " + std::string(name));
+}
+
+const DeviceSpec& xcv50() { return kFamily[0]; }
+const DeviceSpec& xcv300() { return kFamily[4]; }
+const DeviceSpec& xcv1000() { return kFamily[8]; }
+
+}  // namespace xcvsim

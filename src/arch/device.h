@@ -1,0 +1,56 @@
+// Device family table and fabric sizing constants.
+//
+// Models the Virtex family of the paper: CLB arrays from 16x24 (XCV50) to
+// 64x96 (XCV1000), with the per-tile routing resource counts of section 2:
+// 24 single-length lines per direction, hex lines spanning six tiles with
+// 12 drivable per direction per tile, 12 bidirectional buffered long lines
+// per row and per column accessible every 6 tiles, and 4 dedicated global
+// clock nets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace xcvsim {
+
+// Fabric sizing constants (section 2 of the paper).
+inline constexpr int kSinglesPerChannel = 24;  // per direction from a GRM
+inline constexpr int kHexTracks = 12;          // drivable per direction
+inline constexpr int kHexSpan = 6;             // tiles from BEG to END
+inline constexpr int kHexMid = 3;              // tiles from BEG to MID tap
+inline constexpr int kLongTracks = 12;         // per row and per column
+inline constexpr int kLongAccessPeriod = 6;    // long lines tap every 6 CLBs
+inline constexpr int kSliceOutputs = 8;        // S0/S1 x {X, XQ, Y, YQ}
+inline constexpr int kOutWires = 8;            // OMUX outputs OUT[0..7]
+inline constexpr int kClbInputs = 26;          // 13 per slice
+inline constexpr int kGlobalNets = 4;          // dedicated clock nets
+
+/// One member of the device family.
+struct DeviceSpec {
+  std::string_view name;
+  int rows = 0;  // CLB rows
+  int cols = 0;  // CLB columns
+
+  int tiles() const { return rows * cols; }
+  bool contains(RowCol rc) const {
+    return rc.row >= 0 && rc.row < rows && rc.col >= 0 && rc.col < cols;
+  }
+};
+
+/// The Virtex family as listed in the 1999 Programmable Logic Data Book,
+/// smallest to largest. The paper quotes the 16x24 .. 64x96 range.
+std::span<const DeviceSpec> deviceFamily();
+
+/// Look up a family member by name ("XCV300"). Throws ArgumentError if the
+/// name is unknown.
+const DeviceSpec& deviceByName(std::string_view name);
+
+// Convenience accessors for the sizes used throughout tests and benches.
+const DeviceSpec& xcv50();    // 16x24, smallest
+const DeviceSpec& xcv300();   // 32x48, the default workhorse
+const DeviceSpec& xcv1000();  // 64x96, largest
+
+}  // namespace xcvsim

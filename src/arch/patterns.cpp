@@ -1,0 +1,24 @@
+#include "arch/patterns.h"
+
+// All patterns are constexpr in the header; this TU exists so the library
+// has a stable archive member for the module and so static_asserts of the
+// pattern invariants are compiled exactly once.
+
+namespace xcvsim {
+namespace {
+
+// Every non-clock pin index must be a valid, non-clock CLB input.
+static_assert(nonClockPin(0) == 0 && nonClockPin(11) == 11);
+static_assert(nonClockPin(12) == 13);  // skips S0CLK
+static_assert(nonClockPin(23) == 24);  // stops short of S1CLK
+static_assert(kClbInputs - 2 == kSinglesPerChannel,
+              "single tracks and non-clock pins are in bijection");
+
+// OMUX pattern stays within OUT[0..7].
+static_assert(omuxFromOutput(7)[2] < kOutWires);
+
+// Singles-from-OUT covers disjoint thirds of the channel.
+static_assert(singlesFromOut(7)[2] == 23);
+
+}  // namespace
+}  // namespace xcvsim

@@ -1,0 +1,156 @@
+// Sparse GRM switch patterns.
+//
+// The real Virtex switch-box patterns are proprietary (they lived in the
+// JBits device database). This module substitutes deterministic sparse
+// patterns with realistic fanout that obey the paper's driver rules:
+//
+//   "Logic block outputs drive all length interconnects, longs can drive
+//    hexes only, hexes drive singles and other hexes, and singles drive
+//    logic block inputs, vertical long lines, and other singles."
+//
+// The patterns below are modular-offset maps. They are bijective per
+// offset, so every track/pin is reachable and driver fan-in is uniform —
+// the property routing quality actually depends on. Changing any constant
+// here changes which PIPs exist but not the API or the invariants.
+#pragma once
+
+#include <array>
+
+#include "arch/device.h"
+#include "arch/wires.h"
+#include "common/types.h"
+
+namespace xcvsim {
+
+/// OMUX lines driven by slice output `o` (0..7): each output reaches 4 of
+/// the 8 OUT wires (a sparse crossbar rich enough that all 8 outputs of a
+/// tile can drive the fabric simultaneously even under greedy first-fit
+/// assignment).
+constexpr std::array<int, 4> omuxFromOutput(int o) {
+  return {o, (o + 2) % kOutWires, (o + 5) % kOutWires,
+          (o + 7) % kOutWires};
+}
+
+/// The 24 non-clock CLB input pins, in single-track order. Index i maps the
+/// i-th single track to a pin index in [0, kClbInputs); CLK pins (12, 25)
+/// are excluded because only the global clock nets drive them.
+constexpr int nonClockPin(int i) {
+  const int n = i % (kClbInputs - 2);
+  return n < 12 ? n : n + 1;  // skip S0CLK at 12
+}
+
+/// Input pins driven by a single track at one of its end GRMs (3 pins).
+constexpr std::array<int, 3> clbInFromSingle(int track) {
+  return {nonClockPin(track), nonClockPin((track + 7) % kSinglesPerChannel),
+          nonClockPin((track + 13) % kSinglesPerChannel)};
+}
+
+/// Input pins driven by slice output `o` through the *feedback* path back
+/// into the same CLB (2 pins).
+constexpr std::array<int, 2> feedbackPins(int o) {
+  return {nonClockPin(o * 3), nonClockPin(o * 3 + 7)};
+}
+
+/// Input pins of a horizontally adjacent CLB driven by slice output `o`
+/// through the dedicated direct connects (2 pins).
+constexpr std::array<int, 2> directPins(int o) {
+  return {nonClockPin(o * 3 + 1), nonClockPin(o * 3 + 11)};
+}
+
+/// Single tracks (per direction) drivable from OMUX line `j` (3 tracks).
+constexpr std::array<int, 3> singlesFromOut(int j) {
+  return {j, j + kOutWires, j + 2 * kOutWires};
+}
+
+/// Hex tracks (per direction) drivable from OMUX line `j` (2 tracks).
+constexpr std::array<int, 2> hexFromOut(int j) {
+  return {j % kHexTracks, (j + 4) % kHexTracks};
+}
+
+/// Hex tracks drivable from long-line track `t` at an access point
+/// (2 tracks, per direction of the matching axis).
+constexpr std::array<int, 2> hexFromLong(int t) {
+  return {t % kHexTracks, (t + 5) % kHexTracks};
+}
+
+/// Single tracks drivable from a hex tap, per channel direction (2 tracks).
+constexpr std::array<int, 2> singleFromHex(int track) {
+  return {(2 * track) % kSinglesPerChannel,
+          (2 * track + 9) % kSinglesPerChannel};
+}
+
+/// Hex track continuing straight from a hex tap (same direction).
+constexpr int hexStraight(int track) { return track; }
+
+/// Hex track reachable when turning onto an orthogonal direction.
+constexpr int hexTurn(int track) { return (track + 3) % kHexTracks; }
+
+/// Single-to-single turn pattern at a GRM: tracks in the destination
+/// channel drivable from track `track` of the source channel. The salt
+/// makes different (from, to) channel pairs use different offsets, like the
+/// rotated patterns of real switch boxes.
+constexpr std::array<int, 2> singleTurn(Dir from, Dir to, int track) {
+  const int salt = 5 * static_cast<int>(from) + 3 * static_cast<int>(to);
+  return {(track + 1 + salt) % kSinglesPerChannel,
+          (track + 13 + salt) % kSinglesPerChannel};
+}
+
+/// True when a straight-through single-to-single connection (same track id,
+/// opposite channel) exists at a GRM. Every third track runs through, so a
+/// signal can ripple along an axis on singles alone.
+constexpr bool singleStraightThrough(int track) { return track % 3 != 2; }
+
+/// Long-line tracks accessible at a given position along the line's axis
+/// (paper: "Long lines can be accessed every 6 blocks"). Track t is
+/// accessible where pos % 6 == t % 6, so 2 of the 12 tracks tap each tile.
+constexpr bool longAccessibleAt(int track, int posOnAxis) {
+  return posOnAxis % kLongAccessPeriod == track % kLongAccessPeriod;
+}
+
+/// Vertical long track driven by single track `track` at an access tile:
+/// of the two accessible tracks (r%6 and r%6+6), even single tracks drive
+/// the low one, odd tracks the high one.
+constexpr int longVFromSingle(int track, int row) {
+  return row % kLongAccessPeriod + (track % 2 == 0 ? 0 : kLongAccessPeriod);
+}
+
+/// Bidirectional hexes: even tracks can be driven at both BEG and END
+/// ("Some hexes are bi-directional, meaning they can be driven from either
+/// endpoint").
+constexpr bool hexIsBidir(int track) { return track % 2 == 0; }
+
+/// Single tracks (per adjacent channel) driven by pad input buffer `k` of
+/// a boundary tile's I/O blocks.
+constexpr std::array<int, 3> singlesFromIob(int k) {
+  return {8 * k, 8 * k + 3, 8 * k + 6};
+}
+
+/// Single tracks (per adjacent channel) that can drive pad output buffer
+/// `k`. Disjoint from singlesFromIob so a pad cannot trivially loop back.
+constexpr std::array<int, 3> iobFromSingles(int k) {
+  return {8 * k + 1, 8 * k + 4, 8 * k + 7};
+}
+
+/// Is this tile on the device boundary (where the I/O ring couples in)?
+constexpr bool isBoundaryTile(const DeviceSpec& dev, RowCol rc) {
+  return rc.row == 0 || rc.row == dev.rows - 1 || rc.col == 0 ||
+         rc.col == dev.cols - 1;
+}
+
+/// Does this tile adjoin a block-RAM column (west or east CLB column)?
+constexpr bool isBramTile(const DeviceSpec& dev, RowCol rc) {
+  return rc.col == 0 || rc.col == dev.cols - 1;
+}
+
+/// Single tracks (per adjacent channel) driven by BRAM data output `k`.
+constexpr std::array<int, 3> singlesFromBram(int k) {
+  return {6 * k, 6 * k + 2, 6 * k + 4};
+}
+
+/// Single tracks (per adjacent channel) driving BRAM input pin `j`
+/// (j in [0, 2*kBramPinsPerTile): data inputs then address inputs).
+constexpr std::array<int, 2> bramFromSingles(int j) {
+  return {(3 * j) % kSinglesPerChannel, (3 * j + 13) % kSinglesPerChannel};
+}
+
+}  // namespace xcvsim

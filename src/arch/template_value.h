@@ -1,0 +1,103 @@
+// Template values — the paper's direction-x-resource classification.
+//
+// "A template value is defined as a value describing a direction and a
+// resource type. For example, a template value of NORTH6 describes any hex
+// wire in the north direction, a template value of NORTH1 describes any
+// single wire in the north direction." (section 3)
+//
+// Because singles, bidirectional hexes, and long lines can be traversed in
+// either direction, the template value of a *wire in use* depends on the
+// direction of travel, not only on the segment itself; the rrg module
+// computes it from (segment, entry tile).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace xcvsim {
+
+enum class TemplateValue : uint8_t {
+  OUTMUX,  // an OMUX output wire OUT[i]
+  CLBIN,   // a CLB input pin
+  EAST1,   // single traversed eastward
+  WEST1,
+  NORTH1,
+  SOUTH1,
+  EAST6,   // hex traversed eastward
+  WEST6,
+  NORTH6,
+  SOUTH6,
+  LONGH,   // horizontal long line (either direction)
+  LONGV,   // vertical long line (either direction)
+  GCLKNET, // dedicated global clock net
+  IOPAD,   // an I/O block buffer (pad side of the fabric)
+  BRAMPORT,// a block-RAM data/address port
+};
+
+inline constexpr int kNumTemplateValues = 15;
+
+constexpr std::string_view templateValueName(TemplateValue v) {
+  switch (v) {
+    case TemplateValue::OUTMUX: return "OUTMUX";
+    case TemplateValue::CLBIN: return "CLBIN";
+    case TemplateValue::EAST1: return "EAST1";
+    case TemplateValue::WEST1: return "WEST1";
+    case TemplateValue::NORTH1: return "NORTH1";
+    case TemplateValue::SOUTH1: return "SOUTH1";
+    case TemplateValue::EAST6: return "EAST6";
+    case TemplateValue::WEST6: return "WEST6";
+    case TemplateValue::NORTH6: return "NORTH6";
+    case TemplateValue::SOUTH6: return "SOUTH6";
+    case TemplateValue::LONGH: return "LONGH";
+    case TemplateValue::LONGV: return "LONGV";
+    case TemplateValue::GCLKNET: return "GCLKNET";
+    case TemplateValue::IOPAD: return "IOPAD";
+    case TemplateValue::BRAMPORT: return "BRAMPORT";
+  }
+  return "?";
+}
+
+/// Template value of a single or hex traversed in direction `d`.
+constexpr TemplateValue singleValue(Dir d) {
+  switch (d) {
+    case Dir::East: return TemplateValue::EAST1;
+    case Dir::West: return TemplateValue::WEST1;
+    case Dir::North: return TemplateValue::NORTH1;
+    case Dir::South: return TemplateValue::SOUTH1;
+  }
+  return TemplateValue::EAST1;
+}
+constexpr TemplateValue hexValue(Dir d) {
+  switch (d) {
+    case Dir::East: return TemplateValue::EAST6;
+    case Dir::West: return TemplateValue::WEST6;
+    case Dir::North: return TemplateValue::NORTH6;
+    case Dir::South: return TemplateValue::SOUTH6;
+  }
+  return TemplateValue::EAST6;
+}
+
+/// Tile displacement implied by a template value when the resource is
+/// traversed end to end (hex MID exits yield half of `templateSpan`).
+constexpr int templateDRow(TemplateValue v) {
+  switch (v) {
+    case TemplateValue::NORTH1: return 1;
+    case TemplateValue::SOUTH1: return -1;
+    case TemplateValue::NORTH6: return 6;
+    case TemplateValue::SOUTH6: return -6;
+    default: return 0;
+  }
+}
+constexpr int templateDCol(TemplateValue v) {
+  switch (v) {
+    case TemplateValue::EAST1: return 1;
+    case TemplateValue::WEST1: return -1;
+    case TemplateValue::EAST6: return 6;
+    case TemplateValue::WEST6: return -6;
+    default: return 0;
+  }
+}
+
+}  // namespace xcvsim

@@ -1,0 +1,89 @@
+// PathFinder-style negotiated-congestion router — the "traditional"
+// quality-driven batch router JRoute positions itself against:
+//
+//   "In an RTR environment traditional routing algorithms require too much
+//    time. ... Also, in an RTR environment, global routing followed by
+//    detailed routing would not be efficient." (section 3.1)
+//
+// This is the standard iterative rip-up-and-reroute scheme (Ebeling/
+// McMurchie, as used by VPR and the routability-driven router of the
+// paper's reference [6]): all nets are routed allowing overuse, then
+// present- and history-congestion costs are raised until no wire is
+// shared. It produces better wirelength than the greedy JRoute algorithms
+// but pays for it with multiple whole-design iterations — exactly the
+// trade-off experiment E6 measures.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rrg/graph.h"
+
+namespace baseline {
+
+using xcvsim::DelayPs;
+using xcvsim::EdgeId;
+using xcvsim::Graph;
+using xcvsim::NodeId;
+
+/// One net to route: a source and its sinks (already resolved to nodes).
+struct PfNet {
+  NodeId source = xcvsim::kInvalidNode;
+  std::vector<NodeId> sinks;
+};
+
+struct PathFinderOptions {
+  int maxIterations = 40;
+  /// Present-congestion penalty factor, multiplied each iteration.
+  double presentFactor = 0.6;
+  double presentGrowth = 1.5;
+  /// History increment for overused nodes after each iteration.
+  double historyIncrement = 0.4;
+  /// Node-visit budget per sink search.
+  size_t maxVisitsPerSink = 4000000;
+};
+
+struct PathFinderResult {
+  bool success = false;
+  int iterations = 0;
+  size_t overusedNodes = 0;   // remaining shared nodes (0 on success)
+  size_t wirelength = 0;      // total segments used across all nets
+  DelayPs totalDelay = 0;     // sum of per-net max sink delays
+  size_t totalVisits = 0;     // search effort across all iterations
+};
+
+class PathFinderRouter {
+ public:
+  explicit PathFinderRouter(const Graph& graph);
+
+  /// Route all nets to mutual congestion-freedom. The router owns its own
+  /// occupancy state (it is a batch compile-time tool, not a fabric
+  /// editor); use netEdges() to inspect or commit the final trees.
+  PathFinderResult routeAll(std::span<const PfNet> nets,
+                            const PathFinderOptions& opts = {});
+
+  /// Final tree of net i (edge ids), valid after routeAll.
+  const std::vector<EdgeId>& netEdges(size_t i) const { return trees_[i]; }
+
+ private:
+  /// A* for one sink from the net's current tree under congestion costs.
+  bool routeSink(const std::vector<NodeId>& treeNodes, NodeId goal,
+                 const PathFinderOptions& opts, std::vector<EdgeId>& out,
+                 size_t& visits);
+  double nodeCost(NodeId n, double presentFactor) const;
+
+  const Graph* graph_;
+  std::vector<uint16_t> occupancy_;
+  std::vector<float> history_;
+  double presentFactor_ = 0;
+  std::vector<std::vector<EdgeId>> trees_;
+
+  // A* scratch.
+  std::vector<uint32_t> epochSeen_;
+  std::vector<double> gCost_;
+  std::vector<EdgeId> parent_;
+  std::vector<uint8_t> closed_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace baseline

@@ -1,0 +1,176 @@
+#include "bitstream/bitfile.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "bitstream/crc32.h"
+#include "common/error.h"
+
+namespace xcvsim {
+namespace {
+
+constexpr uint32_t kMagic = 0x4A425354u;  // "JBST"
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kEndMarker = 0xFFFFFFFFu;
+
+void putU32(std::ostream& os, uint32_t v, Crc32* crc) {
+  const uint8_t b[4] = {static_cast<uint8_t>(v), static_cast<uint8_t>(v >> 8),
+                        static_cast<uint8_t>(v >> 16),
+                        static_cast<uint8_t>(v >> 24)};
+  os.write(reinterpret_cast<const char*>(b), 4);
+  if (crc) crc->update(b);
+}
+
+uint32_t getU32(std::istream& is, Crc32* crc) {
+  uint8_t b[4];
+  is.read(reinterpret_cast<char*>(b), 4);
+  if (!is) throw BitstreamError("bitfile truncated");
+  if (crc) crc->update(b);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+void putString(std::ostream& os, std::string_view s, Crc32* crc) {
+  putU32(os, static_cast<uint32_t>(s.size()), crc);
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+  if (crc) {
+    crc->update({reinterpret_cast<const uint8_t*>(s.data()), s.size()});
+  }
+}
+
+std::string getString(std::istream& is, Crc32* crc) {
+  const uint32_t len = getU32(is, crc);
+  if (len > 4096) throw BitstreamError("bitfile string too long");
+  std::string s(len, '\0');
+  is.read(s.data(), len);
+  if (!is) throw BitstreamError("bitfile truncated in string");
+  if (crc) {
+    crc->update({reinterpret_cast<const uint8_t*>(s.data()), s.size()});
+  }
+  return s;
+}
+
+void writeHeaderAndPackets(std::ostream& os, const DeviceSpec& dev,
+                           uint32_t frameWords,
+                           std::span<const Packet> packets,
+                           std::string_view designName) {
+  Crc32 crc;
+  putU32(os, kMagic, &crc);
+  putU32(os, kVersion, &crc);
+  putString(os, designName, &crc);
+  putString(os, dev.name, &crc);
+  putU32(os, static_cast<uint32_t>(dev.rows), &crc);
+  putU32(os, static_cast<uint32_t>(dev.cols), &crc);
+  putU32(os, frameWords, &crc);
+  putU32(os, static_cast<uint32_t>(packets.size()), &crc);
+  for (const Packet& p : packets) {
+    putU32(os, p.frameAddr, &crc);
+    putU32(os, static_cast<uint32_t>(p.data.size()), &crc);
+    for (uint64_t w : p.data) {
+      putU32(os, static_cast<uint32_t>(w), &crc);
+      putU32(os, static_cast<uint32_t>(w >> 32), &crc);
+    }
+    putU32(os, p.crc, &crc);
+  }
+  putU32(os, kEndMarker, &crc);
+  putU32(os, crc.value(), nullptr);
+}
+
+BitfileHeader readHeader(std::istream& is, Crc32& crc) {
+  if (getU32(is, &crc) != kMagic) {
+    throw BitstreamError("not a bitfile (bad magic)");
+  }
+  if (getU32(is, &crc) != kVersion) {
+    throw BitstreamError("unsupported bitfile version");
+  }
+  BitfileHeader h;
+  h.design = getString(is, &crc);
+  h.device = getString(is, &crc);
+  h.rows = static_cast<int>(getU32(is, &crc));
+  h.cols = static_cast<int>(getU32(is, &crc));
+  h.frameWords = getU32(is, &crc);
+  h.packetCount = getU32(is, &crc);
+  return h;
+}
+
+}  // namespace
+
+void writeBitfile(std::ostream& os, const Bitstream& bs,
+                  std::string_view designName) {
+  // Collect non-zero frames only.
+  std::vector<Packet> packets;
+  for (int col = 0; col < bs.numColumns(); ++col) {
+    for (int f = 0; f < kFramesPerColumn; ++f) {
+      const FrameAddr fa{col, f};
+      const auto words = bs.frameWords(fa);
+      const bool zero =
+          std::all_of(words.begin(), words.end(),
+                      [](uint64_t w) { return w == 0; });
+      if (!zero) packets.push_back(makeFramePacket(bs, fa));
+    }
+  }
+  const auto anyFrame = bs.frameWords(FrameAddr{0, 0});
+  writeHeaderAndPackets(os, bs.device(),
+                        static_cast<uint32_t>(anyFrame.size()), packets,
+                        designName);
+}
+
+void writePartialBitfile(std::ostream& os, const DeviceSpec& dev,
+                         std::span<const Packet> packets,
+                         std::string_view designName) {
+  const uint32_t frameWords =
+      packets.empty() ? 0 : static_cast<uint32_t>(packets[0].data.size());
+  writeHeaderAndPackets(os, dev, frameWords, packets, designName);
+}
+
+BitfileHeader readBitfileHeader(std::istream& is) {
+  Crc32 crc;
+  return readHeader(is, crc);
+}
+
+std::vector<Packet> readBitfilePackets(std::istream& is,
+                                       BitfileHeader* header) {
+  Crc32 crc;
+  const BitfileHeader h = readHeader(is, crc);
+  std::vector<Packet> packets;
+  packets.reserve(h.packetCount);
+  for (uint32_t i = 0; i < h.packetCount; ++i) {
+    Packet p;
+    p.frameAddr = getU32(is, &crc);
+    const uint32_t words = getU32(is, &crc);
+    if (words > (1u << 20)) throw BitstreamError("bitfile frame too large");
+    p.data.resize(words);
+    for (uint32_t w = 0; w < words; ++w) {
+      const uint64_t lo = getU32(is, &crc);
+      const uint64_t hi = getU32(is, &crc);
+      p.data[w] = lo | (hi << 32);
+    }
+    p.crc = getU32(is, &crc);
+    packets.push_back(std::move(p));
+  }
+  if (getU32(is, &crc) != kEndMarker) {
+    throw BitstreamError("bitfile missing end marker");
+  }
+  const uint32_t expected = crc.value();
+  if (getU32(is, nullptr) != expected) {
+    throw BitstreamError("bitfile stream CRC mismatch");
+  }
+  if (header) *header = h;
+  return packets;
+}
+
+BitfileHeader readBitfile(std::istream& is, Bitstream& bs) {
+  BitfileHeader h;
+  const auto packets = readBitfilePackets(is, &h);
+  if (h.device != bs.device().name || h.rows != bs.device().rows ||
+      h.cols != bs.device().cols) {
+    throw BitstreamError("bitfile targets device " + h.device +
+                         ", not " + std::string(bs.device().name));
+  }
+  applyPackets(bs, packets);
+  return h;
+}
+
+}  // namespace xcvsim

@@ -1,0 +1,54 @@
+// Configuration bitstream files.
+//
+// JBits-era tooling exchanges designs as bitstream files; this module
+// defines an equivalent container for the simulated device. The format
+// mirrors the structure of a Virtex .bit configuration: a header naming
+// the design and the target device, then a stream of frame packets (the
+// same Packet unit the partial-reconfiguration path uses, each CRC
+// protected), and a final end-marker with a whole-stream CRC. Full writes
+// skip all-zero frames, so a sparse design serialises compactly; partial
+// files carry any packet subset and replay through applyPackets().
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bitstream/bitstream.h"
+#include "bitstream/packets.h"
+
+namespace xcvsim {
+
+/// Metadata recovered from a bitfile header.
+struct BitfileHeader {
+  std::string design;
+  std::string device;
+  int rows = 0;
+  int cols = 0;
+  uint32_t frameWords = 0;
+  uint32_t packetCount = 0;
+};
+
+/// Serialise the full configuration (all-zero frames omitted).
+void writeBitfile(std::ostream& os, const Bitstream& bs,
+                  std::string_view designName);
+
+/// Serialise an explicit packet list (a partial-reconfiguration file).
+void writePartialBitfile(std::ostream& os, const DeviceSpec& dev,
+                         std::span<const Packet> packets,
+                         std::string_view designName);
+
+/// Parse only the header (cheap peek at design/device identity).
+BitfileHeader readBitfileHeader(std::istream& is);
+
+/// Parse a bitfile and apply its packets to `bs`. Throws BitstreamError on
+/// bad magic, device mismatch, packet CRC failure, or stream-CRC failure.
+/// Returns the header for caller inspection.
+BitfileHeader readBitfile(std::istream& is, Bitstream& bs);
+
+/// Parse a bitfile into its packet list without applying it.
+std::vector<Packet> readBitfilePackets(std::istream& is,
+                                       BitfileHeader* header = nullptr);
+
+}  // namespace xcvsim

@@ -1,0 +1,111 @@
+#include "bitstream/bitstream.h"
+
+#include <bit>
+#include <string>
+
+#include "common/error.h"
+
+namespace xcvsim {
+
+Bitstream::Bitstream(const DeviceSpec& dev, const PipTable& table)
+    : dev_(dev), table_(&table) {
+  frameBits_ = dev.rows * table.bitsPerTileRow();
+  frameWords_ = (frameBits_ + 63) / 64;
+  words_.assign(static_cast<size_t>(numFrames()) *
+                    static_cast<size_t>(frameWords_),
+                0);
+  dirty_.assign(static_cast<size_t>(numFrames()), false);
+}
+
+size_t Bitstream::bitIndex(RowCol rc, int slot) const {
+  if (!dev_.contains(rc) || slot < 0 || slot >= table_->slotsPerTile()) {
+    throw BitstreamError("bit address out of range: tile R" +
+                         std::to_string(rc.row) + "C" +
+                         std::to_string(rc.col) + " slot " +
+                         std::to_string(slot));
+  }
+  const int bpr = table_->bitsPerTileRow();
+  const int frame = slot / bpr;
+  const int offset = rc.row * bpr + slot % bpr;
+  const size_t frameIdx = FrameAddr{rc.col, frame}.packed();
+  return frameIdx * static_cast<size_t>(frameWords_) * 64 +
+         static_cast<size_t>(offset);
+}
+
+size_t Bitstream::bramBitIndex(int side, int block, int bit) const {
+  if (side < 0 || side >= kBramColumns || block < 0 ||
+      block >= bramBlocksPerColumn() || bit < 0 ||
+      bit >= kBramBitsPerBlock) {
+    throw BitstreamError("BRAM content address out of range");
+  }
+  const int linear = block * kBramBitsPerBlock + bit;
+  const int frame = linear / frameBits_;
+  const int offset = linear % frameBits_;
+  if (frame >= kFramesPerColumn) {
+    throw BitstreamError("BRAM content exceeds column capacity");
+  }
+  const size_t frameIdx = FrameAddr{dev_.cols + side, frame}.packed();
+  return frameIdx * static_cast<size_t>(frameWords_) * 64 +
+         static_cast<size_t>(offset);
+}
+
+void Bitstream::setBramBit(int side, int block, int bit, bool value) {
+  const size_t b = bramBitIndex(side, block, bit);
+  uint64_t& w = words_[b / 64];
+  const uint64_t mask = uint64_t{1} << (b % 64);
+  w = value ? (w | mask) : (w & ~mask);
+  dirty_[b / 64 / static_cast<size_t>(frameWords_)] = true;
+}
+
+bool Bitstream::getBramBit(int side, int block, int bit) const {
+  const size_t b = bramBitIndex(side, block, bit);
+  return (words_[b / 64] >> (b % 64)) & 1;
+}
+
+void Bitstream::setSlot(RowCol rc, int slot, bool value) {
+  const size_t bit = bitIndex(rc, slot);
+  uint64_t& w = words_[bit / 64];
+  const uint64_t mask = uint64_t{1} << (bit % 64);
+  w = value ? (w | mask) : (w & ~mask);
+  dirty_[bit / 64 / static_cast<size_t>(frameWords_)] = true;
+}
+
+bool Bitstream::getSlot(RowCol rc, int slot) const {
+  const size_t bit = bitIndex(rc, slot);
+  return (words_[bit / 64] >> (bit % 64)) & 1;
+}
+
+std::span<const uint64_t> Bitstream::frameWords(FrameAddr fa) const {
+  if (fa.col < 0 || fa.col >= numColumns() || fa.frame < 0 ||
+      fa.frame >= kFramesPerColumn) {
+    throw BitstreamError("frame address out of range");
+  }
+  return {words_.data() + fa.packed() * static_cast<size_t>(frameWords_),
+          static_cast<size_t>(frameWords_)};
+}
+
+std::span<uint64_t> Bitstream::frameWords(FrameAddr fa) {
+  const auto c =
+      static_cast<const Bitstream*>(this)->frameWords(fa);
+  return {const_cast<uint64_t*>(c.data()), c.size()};
+}
+
+std::vector<FrameAddr> Bitstream::dirtyFrames() const {
+  std::vector<FrameAddr> out;
+  for (size_t i = 0; i < dirty_.size(); ++i) {
+    if (dirty_[i]) out.push_back(FrameAddr::unpack(static_cast<uint32_t>(i)));
+  }
+  return out;
+}
+
+void Bitstream::clearDirty() {
+  dirty_.assign(dirty_.size(), false);
+}
+
+size_t Bitstream::popcount() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+}  // namespace xcvsim

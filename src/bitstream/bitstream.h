@@ -1,0 +1,93 @@
+// Frame-addressed configuration memory.
+//
+// Virtex configuration is organised as columns of frames; a frame is the
+// atomic unit of (re)configuration and readback. We model one block column
+// per CLB column with kFramesPerColumn frames each; every tile contributes
+// bitsPerTileRow bits to each frame of its column. Partial run-time
+// reconfiguration then falls out naturally: touching one tile dirties only
+// the frames of its column, and the packets module turns dirty frames into
+// a config packet stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/device.h"
+#include "bitstream/pip_table.h"
+#include "common/types.h"
+
+namespace xcvsim {
+
+/// Address of one frame: block column plus frame index within the column.
+struct FrameAddr {
+  int col = 0;
+  int frame = 0;
+
+  uint32_t packed() const {
+    return static_cast<uint32_t>(col * kFramesPerColumn + frame);
+  }
+  static FrameAddr unpack(uint32_t v) {
+    return {static_cast<int>(v) / kFramesPerColumn,
+            static_cast<int>(v) % kFramesPerColumn};
+  }
+  friend bool operator==(const FrameAddr&, const FrameAddr&) = default;
+};
+
+class Bitstream {
+ public:
+  Bitstream(const DeviceSpec& dev, const PipTable& table);
+
+  const DeviceSpec& device() const { return dev_; }
+  const PipTable& table() const { return *table_; }
+
+  /// Bits in one frame (rows x bitsPerTileRow, rounded up to words).
+  int frameBits() const { return frameBits_; }
+  /// Frame columns: one per CLB column plus the two BRAM content columns.
+  int numColumns() const { return dev_.cols + kBramColumns; }
+  /// Total frames in the device (CLB and BRAM columns alike).
+  int numFrames() const { return numColumns() * kFramesPerColumn; }
+  /// Total configuration size in bytes.
+  size_t configBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Set/get the configuration bit for slot `slot` of tile `rc`.
+  void setSlot(RowCol rc, int slot, bool value);
+  bool getSlot(RowCol rc, int slot) const;
+
+  /// Set/get one block-RAM content bit: column side (0 = west, 1 = east),
+  /// block index along the column, bit within the block's 4096-bit array.
+  /// BRAM contents live in their own frame columns after the CLB columns,
+  /// so partial reconfiguration and bitfiles carry them like any frame.
+  void setBramBit(int side, int block, int bit, bool value);
+  bool getBramBit(int side, int block, int bit) const;
+  /// Blocks per BRAM column on this device.
+  int bramBlocksPerColumn() const { return dev_.rows / kBramRowsPerBlock; }
+
+  /// Raw frame payload for readback and packet construction.
+  std::span<const uint64_t> frameWords(FrameAddr fa) const;
+  std::span<uint64_t> frameWords(FrameAddr fa);
+
+  /// Frames written since the last clearDirty() (for partial reconfig).
+  std::vector<FrameAddr> dirtyFrames() const;
+  void clearDirty();
+
+  /// Number of 1 bits in the whole configuration.
+  size_t popcount() const;
+
+  friend bool operator==(const Bitstream& a, const Bitstream& b) {
+    return a.words_ == b.words_;
+  }
+
+ private:
+  size_t bitIndex(RowCol rc, int slot) const;
+  size_t bramBitIndex(int side, int block, int bit) const;
+
+  DeviceSpec dev_;
+  const PipTable* table_;
+  int frameBits_ = 0;
+  int frameWords_ = 0;
+  std::vector<uint64_t> words_;
+  std::vector<bool> dirty_;  // per frame
+};
+
+}  // namespace xcvsim

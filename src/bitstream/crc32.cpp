@@ -1,0 +1,48 @@
+#include "bitstream/crc32.h"
+
+#include <array>
+
+namespace xcvsim {
+namespace {
+
+std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& table() {
+  static const auto t = makeTable();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(std::span<const uint8_t> data) {
+  uint32_t c = state_;
+  for (uint8_t b : data) {
+    c = table()[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+void Crc32::update(uint32_t word) {
+  const uint8_t bytes[4] = {
+      static_cast<uint8_t>(word), static_cast<uint8_t>(word >> 8),
+      static_cast<uint8_t>(word >> 16), static_cast<uint8_t>(word >> 24)};
+  update(bytes);
+}
+
+uint32_t crc32(std::span<const uint8_t> data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace xcvsim

@@ -1,0 +1,30 @@
+// CRC-32 (IEEE 802.3 polynomial), used to protect partial-reconfiguration
+// packet payloads the way the Virtex configuration logic checks CRC before
+// committing frames.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace xcvsim {
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  void update(std::span<const uint8_t> data);
+  void update(uint32_t word);
+
+  /// Final value (can keep updating afterwards; value() is pure).
+  uint32_t value() const { return ~state_; }
+
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience.
+uint32_t crc32(std::span<const uint8_t> data);
+
+}  // namespace xcvsim

@@ -1,0 +1,38 @@
+#include "bitstream/decoder.h"
+
+namespace xcvsim {
+
+std::vector<DecodedPip> decodePips(const Bitstream& bs) {
+  std::vector<DecodedPip> out;
+  const PipTable& table = bs.table();
+  const DeviceSpec& dev = bs.device();
+  const int pipSlots = table.numPipSlots();
+  for (int16_t r = 0; r < dev.rows; ++r) {
+    for (int16_t c = 0; c < dev.cols; ++c) {
+      const RowCol rc{r, c};
+      for (int s = 0; s < pipSlots; ++s) {
+        if (bs.getSlot(rc, s)) {
+          out.push_back({rc, table.keyAt(s)});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+size_t countEnabledPips(const Bitstream& bs) {
+  size_t n = 0;
+  const PipTable& table = bs.table();
+  const DeviceSpec& dev = bs.device();
+  const int pipSlots = table.numPipSlots();
+  for (int16_t r = 0; r < dev.rows; ++r) {
+    for (int16_t c = 0; c < dev.cols; ++c) {
+      for (int s = 0; s < pipSlots; ++s) {
+        if (bs.getSlot({r, c}, s)) ++n;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace xcvsim

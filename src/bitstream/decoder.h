@@ -1,0 +1,31 @@
+// Configuration decoder: recover the set of enabled PIPs from raw frame
+// data. This is the readback direction of the JBits layer — BoardScope-
+// style debug tools work from exactly this information — and it lets tests
+// prove the router's write-through is faithful: decode(bitstream) must
+// equal the fabric's on-PIP set after any sequence of route/unroute calls.
+#pragma once
+
+#include <vector>
+
+#include "bitstream/bitstream.h"
+#include "bitstream/pip_table.h"
+
+namespace xcvsim {
+
+/// One enabled configurable point found in a bitstream.
+struct DecodedPip {
+  RowCol tile;
+  PipKey key;
+
+  friend bool operator==(const DecodedPip&, const DecodedPip&) = default;
+};
+
+/// All enabled PIPs (TilePip, DirectE/W, GlobalPad) in the configuration,
+/// in deterministic tile-major, slot-minor order. LUT and misc logic bits
+/// are not PIPs and are not reported.
+std::vector<DecodedPip> decodePips(const Bitstream& bs);
+
+/// Count of enabled PIPs without materialising the list.
+size_t countEnabledPips(const Bitstream& bs);
+
+}  // namespace xcvsim

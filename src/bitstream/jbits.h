@@ -1,0 +1,56 @@
+// The JBits-equivalent low-level configuration interface.
+//
+// "Built on JBits, the JRoute API provides access to routing resources" —
+// JBits itself is the layer that reads and writes individual configuration
+// points in the bitstream. This facade exposes exactly that: turn a PIP on
+// or off, program a LUT truth table, poke a logic mode bit. The JRoute
+// router writes through this interface, so every routing action is
+// faithfully reflected in the frame data (and the decoder can prove it).
+#pragma once
+
+#include "bitstream/bitstream.h"
+#include "bitstream/pip_table.h"
+
+namespace xcvsim {
+
+class JBits {
+ public:
+  JBits(const DeviceSpec& dev, const PipTable& table)
+      : bits_(dev, table), table_(&table) {}
+
+  Bitstream& bitstream() { return bits_; }
+  const Bitstream& bitstream() const { return bits_; }
+  const DeviceSpec& device() const { return bits_.device(); }
+
+  /// Turn a same-tile PIP on/off. Throws BitstreamError when (from, to)
+  /// is not a configurable point of the fabric.
+  void setPip(RowCol rc, LocalWire from, LocalWire to, bool on);
+  bool getPip(RowCol rc, LocalWire from, LocalWire to) const;
+
+  /// Direct-connect PIPs (output of `rc` to an input of the east/west
+  /// neighbour).
+  void setDirect(RowCol rc, Dir toward, LocalWire from, LocalWire to,
+                 bool on);
+  bool getDirect(RowCol rc, Dir toward, LocalWire from, LocalWire to) const;
+
+  /// Global clock pad driver k on/off.
+  void setGlobalPad(int k, bool on);
+  bool getGlobalPad(int k) const;
+
+  /// Program the 16-bit truth table of LUT `lut` (0..3: S0F, S0G, S1F,
+  /// S1G) of tile `rc`.
+  void setLut(RowCol rc, int lut, uint16_t truth);
+  uint16_t getLut(RowCol rc, int lut) const;
+
+  /// Miscellaneous per-tile logic configuration bit.
+  void setMiscBit(RowCol rc, int bit, bool on);
+  bool getMiscBit(RowCol rc, int bit) const;
+
+ private:
+  int requireSlot(const PipKey& key) const;
+
+  Bitstream bits_;
+  const PipTable* table_;
+};
+
+}  // namespace xcvsim

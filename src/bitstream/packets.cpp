@@ -1,0 +1,73 @@
+#include "bitstream/packets.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "bitstream/crc32.h"
+#include "common/error.h"
+
+namespace xcvsim {
+
+uint32_t packetCrc(uint32_t frameAddr, std::span<const uint64_t> data) {
+  Crc32 crc;
+  crc.update(frameAddr);
+  for (uint64_t w : data) {
+    crc.update(static_cast<uint32_t>(w));
+    crc.update(static_cast<uint32_t>(w >> 32));
+  }
+  return crc.value();
+}
+
+Packet makeFramePacket(const Bitstream& bs, FrameAddr fa) {
+  Packet p;
+  p.frameAddr = fa.packed();
+  const auto words = bs.frameWords(fa);
+  p.data.assign(words.begin(), words.end());
+  p.crc = packetCrc(p.frameAddr, p.data);
+  return p;
+}
+
+std::vector<Packet> diffPackets(const Bitstream& from, const Bitstream& to) {
+  if (!(from.device().rows == to.device().rows &&
+        from.device().cols == to.device().cols)) {
+    throw BitstreamError("diffPackets: device mismatch");
+  }
+  std::vector<Packet> out;
+  for (int col = 0; col < to.numColumns(); ++col) {
+    for (int f = 0; f < kFramesPerColumn; ++f) {
+      const FrameAddr fa{col, f};
+      const auto a = from.frameWords(fa);
+      const auto b = to.frameWords(fa);
+      if (!std::equal(a.begin(), a.end(), b.begin())) {
+        out.push_back(makeFramePacket(to, fa));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Packet> dirtyPackets(const Bitstream& bs) {
+  std::vector<Packet> out;
+  for (FrameAddr fa : bs.dirtyFrames()) {
+    out.push_back(makeFramePacket(bs, fa));
+  }
+  return out;
+}
+
+void applyPackets(Bitstream& bs, std::span<const Packet> packets) {
+  for (const Packet& p : packets) {
+    if (packetCrc(p.frameAddr, p.data) != p.crc) {
+      throw BitstreamError("packet CRC mismatch at frame " +
+                           std::to_string(p.frameAddr));
+    }
+    const FrameAddr fa = FrameAddr::unpack(p.frameAddr);
+    const auto dst = bs.frameWords(fa);
+    if (p.data.size() != dst.size()) {
+      throw BitstreamError("packet length mismatch at frame " +
+                           std::to_string(p.frameAddr));
+    }
+    std::copy(p.data.begin(), p.data.end(), dst.begin());
+  }
+}
+
+}  // namespace xcvsim

@@ -1,0 +1,46 @@
+// Partial-reconfiguration packet stream.
+//
+// Run-time reconfiguration on Virtex writes whole frames through the
+// configuration port: a frame-address register (FAR) write followed by the
+// frame data (FDRI) and a CRC check. We model exactly that unit: a packet
+// carries one frame's payload, its address, and a CRC-32; applyPackets
+// verifies each CRC before committing, like the device's configuration
+// logic. diffPackets() produces the minimal frame set that transforms one
+// configuration into another — the core primitive behind the paper's
+// "cores can be removed or replaced at run-time without having to
+// reconfigure the entire design".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitstream/bitstream.h"
+
+namespace xcvsim {
+
+struct Packet {
+  uint32_t frameAddr = 0;           // FrameAddr::packed()
+  std::vector<uint64_t> data;       // one frame payload
+  uint32_t crc = 0;                 // CRC-32 over address + payload
+};
+
+/// CRC over a packet's address and payload.
+uint32_t packetCrc(uint32_t frameAddr, std::span<const uint64_t> data);
+
+/// Build a packet for one frame of `bs`.
+Packet makeFramePacket(const Bitstream& bs, FrameAddr fa);
+
+/// Packets for every frame that differs between `from` and `to`
+/// (the minimal partial-reconfiguration stream).
+std::vector<Packet> diffPackets(const Bitstream& from, const Bitstream& to);
+
+/// Packets for every frame dirtied since the bitstream's last clearDirty().
+std::vector<Packet> dirtyPackets(const Bitstream& bs);
+
+/// Apply packets to a configuration. Throws BitstreamError when a CRC does
+/// not match or a frame address is invalid; on throw, no further packets
+/// are applied (frames already committed stay, as on the real device).
+void applyPackets(Bitstream& bs, std::span<const Packet> packets);
+
+}  // namespace xcvsim

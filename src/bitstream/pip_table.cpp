@@ -1,0 +1,59 @@
+#include "bitstream/pip_table.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace xcvsim {
+
+PipTable::PipTable(const ArchDb& arch) {
+  const DeviceSpec& dev = arch.device();
+  // Union the PIP patterns over every tile of the device. Patterns repeat
+  // with the long-line access period, so interior tiles contribute mostly
+  // duplicates, but taking the full union guarantees coverage for any
+  // device geometry (including the smallest family members, whose rows are
+  // shorter than three access periods).
+  std::unordered_map<PipKey, int, KeyHash> seen;
+  const auto add = [&](const PipKey& key) { seen.emplace(key, 0); };
+  for (int16_t r = 0; r < dev.rows; ++r) {
+    for (int16_t c = 0; c < dev.cols; ++c) {
+      const RowCol rc{r, c};
+      arch.forEachTilePip(rc, [&](LocalWire f, LocalWire t) {
+        add({PipKeyKind::TilePip, f, t});
+      });
+      arch.forEachDirectConnect(rc, [&](LocalWire f, RowCol dst,
+                                        LocalWire t) {
+        add({dst.col > rc.col ? PipKeyKind::DirectE : PipKeyKind::DirectW, f,
+             t});
+      });
+    }
+  }
+  for (int k = 0; k < kGlobalNets; ++k) {
+    add({PipKeyKind::GlobalPad, kInvalidLocalWire, static_cast<LocalWire>(k)});
+  }
+
+  std::vector<PipKey> all;
+  all.reserve(seen.size());
+  for (const auto& [key, unused] : seen) all.push_back(key);
+  std::sort(all.begin(), all.end(), [](const PipKey& a, const PipKey& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.from != b.from) return a.from < b.from;
+    return a.to < b.to;
+  });
+
+  keys_ = std::move(all);
+  slots_.reserve(keys_.size());
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    slots_.emplace(keys_[i], static_cast<int>(i));
+  }
+
+  const int total = slotsPerTile();
+  bitsPerTileRow_ = (total + kFramesPerColumn - 1) / kFramesPerColumn;
+}
+
+int PipTable::slotOf(const PipKey& key) const {
+  const auto it = slots_.find(key);
+  return it == slots_.end() ? -1 : it->second;
+}
+
+}  // namespace xcvsim

@@ -1,0 +1,18 @@
+#include "common/error.h"
+
+// The exception hierarchy is header-only; this translation unit pins the
+// vtables so every user of jr_common shares one copy.
+
+namespace xcvsim {
+
+const char* dirName(Dir d) {
+  switch (d) {
+    case Dir::East: return "East";
+    case Dir::West: return "West";
+    case Dir::North: return "North";
+    case Dir::South: return "South";
+  }
+  return "?";
+}
+
+}  // namespace xcvsim

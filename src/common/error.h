@@ -1,0 +1,58 @@
+// Exception hierarchy of the JRoute reproduction.
+//
+// The paper specifies that the router "protects the device" by throwing an
+// exception when a user call would create contention on a bidirectional
+// track (section 3.4), and that template/auto routing calls fail when no
+// unused resource combination exists (section 3.1). Those two failure modes
+// get dedicated types; everything else (bad arguments, malformed paths,
+// bitstream addressing errors) derives from JRouteError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/types.h"
+
+namespace xcvsim {
+
+/// Base class of every error thrown by this library.
+class JRouteError : public std::runtime_error {
+ public:
+  explicit JRouteError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A call names a tile, wire, or net that does not exist on this device.
+class ArgumentError : public JRouteError {
+ public:
+  explicit ArgumentError(const std::string& what) : JRouteError(what) {}
+};
+
+/// Turning on the requested connection would drive a track that already has
+/// a different driver (the bidirectional-contention hazard of section 3.4).
+class ContentionError : public JRouteError {
+ public:
+  ContentionError(const std::string& what, NodeId node)
+      : JRouteError(what), node_(node) {}
+
+  NodeId node() const { return node_; }
+
+ private:
+  NodeId node_;
+};
+
+/// A routing call could not find an unused combination of resources
+/// (template mismatch, maze failure, exhausted tracks). Per the paper this
+/// requires user action, so it surfaces as an exception rather than being
+/// retried internally.
+class UnroutableError : public JRouteError {
+ public:
+  explicit UnroutableError(const std::string& what) : JRouteError(what) {}
+};
+
+/// Bitstream frame addressing or packet decoding failed.
+class BitstreamError : public JRouteError {
+ public:
+  explicit BitstreamError(const std::string& what) : JRouteError(what) {}
+};
+
+}  // namespace xcvsim

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// Benchmarks and property tests must be reproducible across runs and
+// platforms, so we carry our own splitmix64/xoshiro256** implementation
+// rather than relying on unspecified standard-library engines.
+#pragma once
+
+#include <cstdint>
+
+namespace xcvsim {
+
+/// xoshiro256** seeded via splitmix64. Deterministic for a given seed on
+/// every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  uint64_t below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int intIn(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace xcvsim

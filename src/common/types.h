@@ -1,0 +1,86 @@
+// Fundamental value types shared by every layer of the JRoute reproduction.
+//
+// The substrate (architecture model, routing-resource graph, bitstream,
+// fabric state) lives in namespace `xcvsim`; the JRoute API and everything
+// above it lives in namespace `jroute`. Both use the ids defined here.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace xcvsim {
+
+/// Row/column coordinate of a CLB tile. Row 0 is the south edge, column 0
+/// the west edge; "north" increases the row index.
+struct RowCol {
+  int16_t row = 0;
+  int16_t col = 0;
+
+  friend auto operator<=>(const RowCol&, const RowCol&) = default;
+};
+
+/// Manhattan distance between two tiles.
+inline int manhattan(RowCol a, RowCol b) {
+  const int dr = a.row - b.row;
+  const int dc = a.col - b.col;
+  return (dr < 0 ? -dr : dr) + (dc < 0 ? -dc : dc);
+}
+
+/// Compass direction of a routing resource as seen from a tile.
+enum class Dir : uint8_t { East = 0, West = 1, North = 2, South = 3 };
+
+inline constexpr int kNumDirs = 4;
+
+/// Unit displacement of a direction: East/West move the column, North/South
+/// the row.
+inline constexpr int dirDRow(Dir d) {
+  return d == Dir::North ? 1 : (d == Dir::South ? -1 : 0);
+}
+inline constexpr int dirDCol(Dir d) {
+  return d == Dir::East ? 1 : (d == Dir::West ? -1 : 0);
+}
+inline constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::East: return Dir::West;
+    case Dir::West: return Dir::East;
+    case Dir::North: return Dir::South;
+    case Dir::South: return Dir::North;
+  }
+  return Dir::East;
+}
+const char* dirName(Dir d);
+
+/// Local wire id within one CLB tile's namespace (the integer wire ids of
+/// the paper's architecture description class).
+using LocalWire = uint16_t;
+inline constexpr LocalWire kInvalidLocalWire =
+    std::numeric_limits<LocalWire>::max();
+
+/// Global node id in the routing-resource graph (one id per physical wire
+/// segment or logic pin).
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Global directed-edge (PIP) id in the routing-resource graph.
+using EdgeId = uint32_t;
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Identifier of a routed net in the fabric's net database.
+using NetId = uint32_t;
+inline constexpr NetId kInvalidNet = std::numeric_limits<NetId>::max();
+
+/// Routing delay in picoseconds (the fabric timing model's unit).
+using DelayPs = int64_t;
+
+}  // namespace xcvsim
+
+template <>
+struct std::hash<xcvsim::RowCol> {
+  size_t operator()(const xcvsim::RowCol& rc) const noexcept {
+    return (static_cast<size_t>(static_cast<uint16_t>(rc.row)) << 16) |
+           static_cast<uint16_t>(rc.col);
+  }
+};

@@ -1,0 +1,14 @@
+#include "core/path.h"
+
+namespace jroute {
+
+RowCol Template::displacement() const {
+  int dr = 0, dc = 0;
+  for (TemplateValue v : values_) {
+    dr += xcvsim::templateDRow(v);
+    dc += xcvsim::templateDCol(v);
+  }
+  return {static_cast<int16_t>(dr), static_cast<int16_t>(dc)};
+}
+
+}  // namespace jroute

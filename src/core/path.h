@@ -1,0 +1,56 @@
+// Path and Template — user-specified routes at the two middle levels of
+// control (section 3.1).
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "arch/template_value.h"
+#include "common/types.h"
+
+namespace jroute {
+
+using xcvsim::LocalWire;
+using xcvsim::RowCol;
+using xcvsim::TemplateValue;
+
+/// "A path is an array of specific resources, for example HexNorth[4],
+/// that are to be connected. The path also requires a starting location,
+/// defined by a row and column."
+class Path {
+ public:
+  Path(int row, int col, std::vector<LocalWire> wires)
+      : start_{static_cast<int16_t>(row), static_cast<int16_t>(col)},
+        wires_(std::move(wires)) {}
+  Path(RowCol start, std::vector<LocalWire> wires)
+      : start_(start), wires_(std::move(wires)) {}
+
+  RowCol start() const { return start_; }
+  const std::vector<LocalWire>& wires() const { return wires_; }
+
+ private:
+  RowCol start_;
+  std::vector<LocalWire> wires_;
+};
+
+/// "A template is defined as an array of template values" — a direction/
+/// resource pattern the router follows while choosing concrete wires.
+class Template {
+ public:
+  Template() = default;
+  explicit Template(std::vector<TemplateValue> values)
+      : values_(std::move(values)) {}
+  Template(std::initializer_list<TemplateValue> values) : values_(values) {}
+
+  const std::vector<TemplateValue>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Net tile displacement when every element is traversed end to end.
+  RowCol displacement() const;
+
+ private:
+  std::vector<TemplateValue> values_;
+};
+
+}  // namespace jroute

@@ -1,0 +1,8 @@
+#include "core/endpoint.h"
+
+// Port and EndPoint are header-only value types; this TU anchors the
+// module so the archive always has a member for it.
+
+namespace jroute {
+static_assert(sizeof(EndPoint) <= 16, "EndPoint stays a small value type");
+}  // namespace jroute

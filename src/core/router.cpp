@@ -1,0 +1,436 @@
+#include "core/router.h"
+
+#include <algorithm>
+#include <string>
+
+#include "arch/wires.h"
+#include "common/error.h"
+#include "router/path_engine.h"
+#include "router/template_engine.h"
+#include "router/template_lib.h"
+
+namespace jroute {
+
+using xcvsim::ArgumentError;
+using xcvsim::ContentionError;
+using xcvsim::Edge;
+using xcvsim::EdgeId;
+using xcvsim::Graph;
+using xcvsim::kInvalidEdge;
+using xcvsim::kInvalidLocalWire;
+using xcvsim::kInvalidNode;
+using xcvsim::NodeInfo;
+using xcvsim::NodeKind;
+using xcvsim::TemplateValue;
+using xcvsim::TraceHop;
+using xcvsim::UnroutableError;
+using xcvsim::WireKind;
+using xcvsim::wireKind;
+
+namespace {
+
+std::string pinName(const Pin& p) {
+  return "R" + std::to_string(p.rc.row) + "C" + std::to_string(p.rc.col) +
+         "." + xcvsim::wireName(p.wire);
+}
+
+/// May this node originate a net (slice output, global clock source, or
+/// I/O pad input buffer)?
+bool driverCapable(const Graph& g, NodeId n) {
+  const NodeInfo inf = g.info(n);
+  if (inf.kind == NodeKind::GclkPad || inf.kind == NodeKind::Gclk ||
+      inf.kind == NodeKind::IobIn || inf.kind == NodeKind::BramOut) {
+    return true;
+  }
+  return inf.kind == NodeKind::Logic && inf.local < xcvsim::kOmuxBase;
+}
+
+Pin sourcePinOf(const EndPoint& ep) {
+  if (ep.isPin()) return ep.pin();
+  const auto& pins = ep.port().pins();
+  if (pins.empty()) {
+    throw ArgumentError("port '" + ep.port().name() + "' has no bound pins");
+  }
+  return pins.front();
+}
+
+}  // namespace
+
+Router::Router(Fabric& fabric, RouterOptions opts)
+    : fabric_(&fabric), opts_(opts), maze_(fabric.graph()) {}
+
+NodeId Router::pinNode(const Pin& pin) const {
+  const NodeId n = fabric_->graph().nodeAt(pin.rc, pin.wire);
+  if (n == kInvalidNode) {
+    throw ArgumentError("no such wire: " + pinName(pin));
+  }
+  return n;
+}
+
+NetId Router::netFor(NodeId srcNode) {
+  if (fabric_->isUsed(srcNode)) return fabric_->netOf(srcNode);
+  if (!driverCapable(fabric_->graph(), srcNode)) {
+    throw ArgumentError("wire " + fabric_->graph().nodeName(srcNode) +
+                        " is not routed and cannot drive a new net");
+  }
+  return fabric_->createNet(srcNode,
+                            "net@" + fabric_->graph().nodeName(srcNode));
+}
+
+void Router::turnOnChain(std::span<const EdgeId> chain, NetId net) {
+  size_t done = 0;
+  try {
+    for (const EdgeId e : chain) {
+      fabric_->turnOn(e, net);
+      ++done;
+      ++stats_.pipsTurnedOn;
+    }
+  } catch (...) {
+    // Roll back the partial chain so a failed call leaves no debris.
+    while (done > 0) {
+      --done;
+      fabric_->turnOff(chain[done]);
+      ++stats_.pipsTurnedOff;
+    }
+    throw;
+  }
+}
+
+// --- Level 1: single connections ---------------------------------------------
+
+void Router::route(int row, int col, LocalWire from, LocalWire to) {
+  const Pin f(row, col, from), t(row, col, to);
+  routePip(f, t);
+  stats_.lastMethod = RouteMethod::DirectPip;
+}
+
+void Router::routePip(const Pin& from, const Pin& to) {
+  const Graph& g = fabric_->graph();
+  const NodeId u = pinNode(from);
+  const NodeId v = pinNode(to);
+  // The PIP lives in the switch box of a tile both wires are visible from;
+  // for same-tile calls that is the named tile, for direct connects the
+  // source pin's tile.
+  EdgeId e = g.findEdge(u, v, from.rc);
+  if (e == kInvalidEdge) e = g.findEdge(u, v);
+  if (e == kInvalidEdge) {
+    throw ArgumentError("no PIP connects " + pinName(from) + " to " +
+                        pinName(to));
+  }
+  const NetId net = netFor(u);
+  fabric_->turnOn(e, net);
+  ++stats_.pipsTurnedOn;
+  ++stats_.routesCompleted;
+  stats_.lastMethod = RouteMethod::DirectPip;
+}
+
+// --- Level 2: explicit path ---------------------------------------------------
+
+void Router::route(const Path& path) {
+  const auto chain = resolvePath(fabric_->graph(), path.start(), path.wires());
+  const NodeId first = fabric_->graph().edgeSource(chain.front());
+  turnOnChain(chain, netFor(first));
+  ++stats_.routesCompleted;
+  stats_.lastMethod = RouteMethod::Path;
+}
+
+// --- Level 3: user template ----------------------------------------------------
+
+void Router::route(const Pin& start, LocalWire endWire, const Template& tmpl) {
+  const NodeId startNode = pinNode(start);
+  const NetId net = netFor(startNode);
+  ++stats_.templateAttempts;
+  const TemplateResult res =
+      followTemplate(*fabric_, startNode, tmpl.values(), kInvalidNode,
+                     endWire, opts_);
+  stats_.templateVisits += res.visited;
+  if (!res.found) {
+    ++stats_.routesFailed;
+    throw UnroutableError(
+        "no unused resource combination follows the template from " +
+        pinName(start) + " to " + xcvsim::wireName(endWire));
+  }
+  ++stats_.templateHits;
+  turnOnChain(res.edges, net);
+  ++stats_.routesCompleted;
+  stats_.lastMethod = RouteMethod::UserTemplate;
+}
+
+// --- Levels 4-6: auto routing ----------------------------------------------------
+
+std::vector<NodeId> Router::treeOf(NetId net) const {
+  std::vector<NodeId> nodes{fabric_->netSource(net)};
+  for (const TraceHop& hop : traceForward(*fabric_, nodes.front())) {
+    nodes.push_back(hop.to);
+  }
+  return nodes;
+}
+
+void Router::routeSink(NetId net, NodeId srcNode, const Pin& srcPin,
+                       const Pin& sinkPin, std::vector<NodeId>& treeNodes,
+                       bool tryTemplates,
+                       const std::vector<TemplateValue>* hint,
+                       std::vector<TemplateValue>* shapeOut) {
+  const Graph& g = fabric_->graph();
+  const NodeId sinkNode = pinNode(sinkPin);
+  if (fabric_->isUsed(sinkNode)) {
+    if (fabric_->netOf(sinkNode) == net) {
+      stats_.lastMethod = RouteMethod::Reuse;  // already connected
+      ++stats_.routesCompleted;
+      return;
+    }
+    throw ContentionError("sink " + pinName(sinkPin) +
+                              " is already in use by another net",
+                          sinkNode);
+  }
+
+  const auto commit = [&](std::span<const EdgeId> chain, RouteMethod m) {
+    turnOnChain(chain, net);
+    for (const EdgeId e : chain) treeNodes.push_back(g.edge(e).to);
+    if (shapeOut) {
+      // Template-shaped routes make good hints for the next bus bit;
+      // maze paths meander around congestion and rarely refit, so they
+      // are not propagated.
+      shapeOut->clear();
+      if (m != RouteMethod::Maze) {
+        for (const EdgeId e : chain) {
+          shapeOut->push_back(g.templateValueOf(g.edge(e).to, g.edge(e)));
+        }
+      }
+    }
+    stats_.lastMethod = m;
+    ++stats_.routesCompleted;
+  };
+
+  // Bus regularity: try the previous bit's shape first.
+  if (hint && !hint->empty()) {
+    ++stats_.templateAttempts;
+    const TemplateResult res = followTemplate(*fabric_, srcNode, *hint,
+                                              sinkNode, kInvalidLocalWire,
+                                              opts_);
+    stats_.templateVisits += res.visited;
+    if (res.found) {
+      ++stats_.templateHits;
+      commit(res.edges, RouteMethod::LibTemplate);
+      return;
+    }
+  }
+
+  if (tryTemplates && opts_.templateFirst &&
+      manhattan(srcPin.rc, sinkPin.rc) <= opts_.templateMaxDistance) {
+    const bool srcIsOutput = wireKind(srcPin.wire) == WireKind::SliceOut;
+    const bool dstIsInput = wireKind(sinkPin.wire) == WireKind::ClbIn;
+    for (const auto& tmpl :
+         templatesFor(srcPin.rc, sinkPin.rc, srcIsOutput, dstIsInput)) {
+      ++stats_.templateAttempts;
+      const TemplateResult res = followTemplate(
+          *fabric_, srcNode, tmpl, sinkNode, kInvalidLocalWire, opts_);
+      stats_.templateVisits += res.visited;
+      if (res.found) {
+        ++stats_.templateHits;
+        commit(res.edges, RouteMethod::LibTemplate);
+        return;
+      }
+    }
+  }
+
+  ++stats_.mazeRuns;
+  const SearchResult res =
+      maze_.route(*fabric_, net, treeNodes, sinkNode, opts_);
+  stats_.mazeVisits += res.visited;
+  if (!res.found) {
+    ++stats_.routesFailed;
+    throw UnroutableError("auto route failed: " + pinName(srcPin) + " -> " +
+                          pinName(sinkPin));
+  }
+  commit(res.edges, RouteMethod::Maze);
+}
+
+void Router::recordConnection(const EndPoint& source,
+                              std::span<const EndPoint> sinks) {
+  if (!recording_) return;
+  bool hasPort = source.isPort();
+  for (const EndPoint& s : sinks) hasPort = hasPort || s.isPort();
+  if (!hasPort) return;
+  connections_.push_back({source, {sinks.begin(), sinks.end()}});
+}
+
+void Router::route(const EndPoint& source, const EndPoint& sink) {
+  route(source, std::span<const EndPoint>(&sink, 1));
+}
+
+void Router::route(const EndPoint& source, std::span<const EndPoint> sinks) {
+  const Pin srcPin = sourcePinOf(source);
+  const NodeId srcNode = pinNode(srcPin);
+  const NetId net = netFor(srcNode);
+
+  // Expand ports into pins, then route in order of increasing distance
+  // from the source, reusing the growing tree ("Each sink gets routed in
+  // order of increasing distance from the source. For each sink, the
+  // router attempts to reuse the previous paths as much as possible.")
+  std::vector<Pin> sinkPins;
+  for (const EndPoint& ep : sinks) {
+    for (const Pin& p : ep.resolve()) sinkPins.push_back(p);
+  }
+  if (sinkPins.empty()) {
+    throw ArgumentError("route: no sink pins to route to");
+  }
+  std::stable_sort(sinkPins.begin(), sinkPins.end(),
+                   [&](const Pin& a, const Pin& b) {
+                     return manhattan(srcPin.rc, a.rc) <
+                            manhattan(srcPin.rc, b.rc);
+                   });
+
+  std::vector<NodeId> treeNodes = treeOf(net);
+  bool first = treeNodes.size() == 1;
+  for (const Pin& sp : sinkPins) {
+    // Templates shine on fresh point-to-point connections; once a tree
+    // exists, tree-reusing maze search is the better (and cheaper) tool.
+    routeSink(net, srcNode, srcPin, sp, treeNodes, first, nullptr, nullptr);
+    first = false;
+  }
+  recordConnection(source, sinks);
+}
+
+void Router::route(std::span<const EndPoint> sources,
+                   std::span<const EndPoint> sinks) {
+  routeBusImpl(sources, sinks, /*lenient=*/false);
+}
+
+int Router::tryRouteBus(std::span<const EndPoint> sources,
+                        std::span<const EndPoint> sinks) {
+  return routeBusImpl(sources, sinks, /*lenient=*/true);
+}
+
+int Router::routeBusImpl(std::span<const EndPoint> sources,
+                         std::span<const EndPoint> sinks, bool lenient) {
+  if (sources.size() != sinks.size()) {
+    throw ArgumentError("bus route: " + std::to_string(sources.size()) +
+                        " sources vs " + std::to_string(sinks.size()) +
+                        " sinks");
+  }
+  int failed = 0;
+  std::vector<TemplateValue> shape, nextShape;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const Pin srcPin = sourcePinOf(sources[i]);
+    const NodeId srcNode = pinNode(srcPin);
+    const NetId net = netFor(srcNode);
+    std::vector<NodeId> treeNodes = treeOf(net);
+    const auto sinkPins = sinks[i].resolve();
+    if (sinkPins.empty()) {
+      throw ArgumentError("bus route: sink " + std::to_string(i) +
+                          " has no pins");
+    }
+    bool first = treeNodes.size() == 1;
+    bool bitOk = true;
+    for (const Pin& sp : sinkPins) {
+      try {
+        routeSink(net, srcNode, srcPin, sp, treeNodes, first,
+                  shape.empty() ? nullptr : &shape,
+                  first ? &nextShape : nullptr);
+      } catch (const UnroutableError&) {
+        if (!lenient) throw;
+        bitOk = false;
+        ++failed;
+        break;
+      }
+      first = false;
+    }
+    if (bitOk) {
+      shape = nextShape;  // regularity: reuse this bit's shape for the next
+      recordConnection(sources[i], sinks.subspan(i, 1));
+    }
+  }
+  return failed;
+}
+
+// --- Unrouter -------------------------------------------------------------------
+
+void Router::unroute(const EndPoint& source) {
+  const Pin srcPin = sourcePinOf(source);
+  const NodeId node = pinNode(srcPin);
+  if (!fabric_->isUsed(node)) {
+    throw ArgumentError("unroute: " + pinName(srcPin) + " is not routed");
+  }
+  const NetId net = fabric_->netOf(node);
+  const auto hops = traceForward(*fabric_, node);
+  // Leaf-side first keeps the fabric consistent at every step.
+  for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+    fabric_->turnOff(it->edge);
+    ++stats_.pipsTurnedOff;
+  }
+  if (fabric_->netSource(net) == node) {
+    fabric_->removeNet(net);
+  }
+}
+
+void Router::reverseUnroute(const EndPoint& sink) {
+  const Pin sinkPin = sourcePinOf(sink);
+  NodeId node = pinNode(sinkPin);
+  if (!fabric_->isUsed(node)) {
+    throw ArgumentError("reverseUnroute: " + pinName(sinkPin) +
+                        " is not routed");
+  }
+  if (fabric_->onOutCount(node) != 0) {
+    throw ArgumentError("reverseUnroute: " + pinName(sinkPin) +
+                        " is not a sink (it drives other wires)");
+  }
+  const NetId net = fabric_->netOf(node);
+  while (true) {
+    const EdgeId e = fabric_->driverOf(node);
+    if (e == kInvalidEdge) break;  // reached the net source
+    const NodeId up = fabric_->graph().edgeSource(e);
+    fabric_->turnOff(e);
+    ++stats_.pipsTurnedOff;
+    // "It stops there because only the branch to the given sink is to be
+    // unrouted": stop at the first segment still driving other branches
+    // and at the source.
+    if (up == fabric_->netSource(net) || fabric_->onOutCount(up) != 0) break;
+    node = up;
+  }
+}
+
+// --- Contention -------------------------------------------------------------------
+
+bool Router::isOn(int row, int col, LocalWire wire) const {
+  return fabric_->isUsed(pinNode(Pin(row, col, wire)));
+}
+
+// --- Debug ------------------------------------------------------------------------
+
+NetTrace Router::trace(const EndPoint& source) const {
+  const NodeId node = pinNode(sourcePinOf(source));
+  NetTrace t;
+  t.source = node;
+  t.hops = traceForward(*fabric_, node);
+  t.sinks = netSinks(*fabric_, node);
+  return t;
+}
+
+std::vector<TraceHop> Router::reverseTrace(const EndPoint& sink) const {
+  return traceBack(*fabric_, pinNode(sourcePinOf(sink)));
+}
+
+// --- RTR reconnection ----------------------------------------------------------------
+
+void Router::rerouteConnectionsOf(const Port& port) {
+  const auto touches = [&](const Connection& c) {
+    if (c.source.isPort() && &c.source.port() == &port) return true;
+    for (const EndPoint& s : c.sinks) {
+      if (s.isPort() && &s.port() == &port) return true;
+    }
+    return false;
+  };
+  recording_ = false;
+  try {
+    for (const Connection& c : connections_) {
+      if (touches(c)) route(c.source, std::span<const EndPoint>(c.sinks));
+    }
+  } catch (...) {
+    recording_ = true;
+    throw;
+  }
+  recording_ = true;
+}
+
+}  // namespace jroute

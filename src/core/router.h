@@ -1,0 +1,146 @@
+// The JRoute API.
+//
+// All six routing calls of section 3.1 (single PIP, explicit path,
+// template-guided, auto point-to-point, auto fanout, bus), the unrouter of
+// section 3.3 (forward and reverse), the contention query of section 3.4
+// (isOn), and the debug traces of section 3.5. Ports (section 3.2) are
+// accepted anywhere an EndPoint is: the router translates them to their
+// bound pin lists and remembers every port-involving connection so cores
+// can be replaced at run time and reconnected automatically.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/endpoint.h"
+#include "core/path.h"
+#include "fabric/fabric.h"
+#include "fabric/trace.h"
+#include "router/options.h"
+#include "router/search.h"
+
+namespace jroute {
+
+using xcvsim::Fabric;
+using xcvsim::NetId;
+using xcvsim::NodeId;
+
+/// Result of trace(): the entire net reachable from a source.
+struct NetTrace {
+  NodeId source = xcvsim::kInvalidNode;
+  std::vector<xcvsim::TraceHop> hops;
+  std::vector<NodeId> sinks;
+};
+
+class Router {
+ public:
+  explicit Router(Fabric& fabric, RouterOptions opts = {});
+
+  // --- Levels of control (section 3.1) --------------------------------------
+
+  /// Turn on the connection between `from` and `to` in CLB (row, col).
+  void route(int row, int col, LocalWire from, LocalWire to);
+
+  /// Single PIP between two pins; also covers the dedicated direct
+  /// connects, whose endpoints live in adjacent tiles.
+  void routePip(const Pin& from, const Pin& to);
+
+  /// Turn on all connections named by an explicit path.
+  void route(const Path& path);
+
+  /// Follow a template from `start`; the walk must end on a wire named
+  /// `endWire` (at whatever tile the template reaches).
+  void route(const Pin& start, LocalWire endWire, const Template& tmpl);
+
+  /// Auto-route source to sink (predefined templates first, maze
+  /// fallback). Ports resolve to their pin lists.
+  void route(const EndPoint& source, const EndPoint& sink);
+
+  /// Auto-route a source to several sinks, nearest first, reusing the
+  /// already-routed tree for each subsequent sink.
+  void route(const EndPoint& source, std::span<const EndPoint> sinks);
+
+  /// Bus routing: sources[i] -> sinks[i], reusing the successful shape of
+  /// the previous bit as a template for the next (regular designs route
+  /// regularly). Throws on the first unroutable bit; bits already routed
+  /// stay routed.
+  void route(std::span<const EndPoint> sources,
+             std::span<const EndPoint> sinks);
+
+  /// Lenient bus routing: unroutable bits are skipped instead of throwing.
+  /// Returns the number of bits that could not be routed.
+  int tryRouteBus(std::span<const EndPoint> sources,
+                  std::span<const EndPoint> sinks);
+
+  // --- Unrouter (section 3.3) ------------------------------------------------
+
+  /// Forward unroute: free the entire net driven from `source`.
+  void unroute(const EndPoint& source);
+
+  /// Reverse unroute: free only the branch feeding `sink`, stopping at the
+  /// first segment that still drives other branches.
+  void reverseUnroute(const EndPoint& sink);
+
+  // --- Contention (section 3.4) ----------------------------------------------
+
+  /// Is the wire in CLB (row, col) currently in use?
+  bool isOn(int row, int col, LocalWire wire) const;
+
+  // --- Debug (section 3.5) ----------------------------------------------------
+
+  /// Trace a source to all of its sinks; the entire net is returned.
+  NetTrace trace(const EndPoint& source) const;
+
+  /// Trace a sink back to its source; only that branch is returned.
+  std::vector<xcvsim::TraceHop> reverseTrace(const EndPoint& sink) const;
+
+  // --- Port-connection memory (sections 3.2-3.3) -------------------------------
+
+  struct Connection {
+    EndPoint source;
+    std::vector<EndPoint> sinks;
+  };
+
+  /// Every port-involving connection made through this router.
+  const std::vector<Connection>& connections() const { return connections_; }
+
+  /// Re-execute every remembered connection that touches `port` (after a
+  /// core replace/relocate has re-bound the port's pins).
+  void rerouteConnectionsOf(const Port& port);
+
+  // --- Infrastructure -----------------------------------------------------------
+
+  Fabric& fabric() { return *fabric_; }
+  const Fabric& fabric() const { return *fabric_; }
+  RouterOptions& options() { return opts_; }
+  const RouteStats& stats() const { return stats_; }
+  void resetStats() { stats_ = RouteStats{}; }
+
+ private:
+  /// Resolve a pin to its RRG node; throws ArgumentError for bad names.
+  NodeId pinNode(const Pin& pin) const;
+  /// Net owning `srcNode`, created on first use for driver-capable pins.
+  NetId netFor(NodeId srcNode);
+  void turnOnChain(std::span<const EdgeId> chain, NetId net);
+  /// Route one sink of a net; `treeNodes` is the current net tree.
+  void routeSink(NetId net, NodeId srcNode, const Pin& srcPin,
+                 const Pin& sinkPin, std::vector<NodeId>& treeNodes,
+                 bool tryTemplates,
+                 const std::vector<xcvsim::TemplateValue>* hint,
+                 std::vector<xcvsim::TemplateValue>* shapeOut);
+  void recordConnection(const EndPoint& source,
+                        std::span<const EndPoint> sinks);
+  std::vector<NodeId> treeOf(NetId net) const;
+  int routeBusImpl(std::span<const EndPoint> sources,
+                   std::span<const EndPoint> sinks, bool lenient);
+
+  Fabric* fabric_;
+  RouterOptions opts_;
+  MazeRouter maze_;
+  RouteStats stats_;
+  std::vector<Connection> connections_;
+  bool recording_ = true;
+};
+
+}  // namespace jroute

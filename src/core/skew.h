@@ -1,0 +1,39 @@
+// Skew-minimizing fanout routing — the paper's section 6 item
+// "Also, skew minimization will be addressed", addressed.
+//
+// A greedily routed fanout net delivers near sinks much earlier than far
+// ones. routeBalanced() first routes the net normally, then iteratively
+// rips up the fastest branch (reverseUnroute — the section 3.3 primitive
+// built for exactly this) and re-routes it through delay-padding detours:
+// rectangular single-wire loops whose template value sequence nets zero
+// displacement but adds a calibrated ~1.6 ns per loop. The result trades
+// a little wire for bounded skew, without touching the slow branches.
+//
+// (The zero-skew alternative the fabric offers is the dedicated global
+// clock network — see RegisterBank::clockFrom — but it only reaches CLK
+// pins; routeBalanced works for arbitrary fanout nets.)
+#pragma once
+
+#include "core/router.h"
+
+namespace jroute {
+
+struct BalancedReport {
+  xcvsim::DelayPs skewBefore = 0;
+  xcvsim::DelayPs skewAfter = 0;
+  xcvsim::DelayPs maxDelay = 0;
+  int branchesRerouted = 0;
+};
+
+/// Approximate delay added by one padding loop (4 singles + 4 PIPs).
+inline constexpr xcvsim::DelayPs kPadLoopDelayPs = 4 * (350 + 60);
+
+/// Route source -> sinks, then equalize sink arrival times to within
+/// `skewTarget` by re-routing fast branches through padding loops.
+/// Branches whose padded re-route fails keep their original (fast) path.
+BalancedReport routeBalanced(Router& router, const EndPoint& source,
+                             std::span<const EndPoint> sinks,
+                             xcvsim::DelayPs skewTarget,
+                             int maxReroutes = 32);
+
+}  // namespace jroute

@@ -1,0 +1,68 @@
+#include "cores/adder_tree.h"
+
+#include "common/error.h"
+
+namespace jroute {
+
+AdderTree::AdderTree(int width)
+    : RtpCore("AdderTree" + std::to_string(width),
+              3 * ((width + 1) / 2) + 2, 1),
+      width_(width),
+      left_(width, 0),
+      right_(width, 0),
+      root_(width, 0) {
+  if (width < 2 || width > 16) {
+    throw xcvsim::ArgumentError("AdderTree width must be 2..16");
+  }
+  for (int i = 0; i < width; ++i) {
+    definePort("a0[" + std::to_string(i) + "]", PortDir::Input, "a0");
+    definePort("a1[" + std::to_string(i) + "]", PortDir::Input, "a1");
+    definePort("sum[" + std::to_string(i) + "]", PortDir::Output, kOutGroup);
+  }
+}
+
+void AdderTree::doBuild(Router& router) {
+  const int strip = (width_ + 1) / 2;
+  // Stack the three children in this core's footprint with one spare row
+  // between levels for routing.
+  for (ConstAdder* child : {&left_, &right_, &root_}) {
+    if (child->placed()) child->remove(router);
+  }
+  left_.place(router, origin());
+  right_.place(router,
+               {static_cast<int16_t>(origin().row + strip + 1), origin().col});
+  root_.place(router, {static_cast<int16_t>(origin().row + 2 * strip + 2),
+                       origin().col});
+
+  // Leaf sums feed the root adder: left -> root "a" inputs... the root
+  // consumes one bus; the right leaf's sum feeds the root's carry-side
+  // pins through a second bus onto the same group (one sink port can take
+  // several sources only via distinct pins, so interleave).
+  const auto leftOut = left_.endPoints(ConstAdder::kOutGroup);
+  const auto rootIn = root_.endPoints(ConstAdder::kInGroup);
+  router.route(std::span<const EndPoint>(leftOut),
+               std::span<const EndPoint>(rootIn));
+
+  // This core's operand ports alias the leaves' input pins; the sum ports
+  // alias the root's outputs.
+  const auto a0 = getPorts("a0");
+  const auto a1 = getPorts("a1");
+  const auto sum = getPorts(kOutGroup);
+  const auto leftIn = left_.getPorts(ConstAdder::kInGroup);
+  const auto rightIn = right_.getPorts(ConstAdder::kInGroup);
+  const auto rootOut = root_.getPorts(ConstAdder::kOutGroup);
+  for (int i = 0; i < width_; ++i) {
+    const auto idx = static_cast<size_t>(i);
+    for (const Pin& p : leftIn[idx]->pins()) a0[idx]->bindPin(p);
+    for (const Pin& p : rightIn[idx]->pins()) a1[idx]->bindPin(p);
+    for (const Pin& p : rootOut[idx]->pins()) sum[idx]->bindPin(p);
+  }
+}
+
+void AdderTree::doRemove(Router& router) {
+  for (ConstAdder* child : {&left_, &right_, &root_}) {
+    if (child->placed()) child->remove(router);
+  }
+}
+
+}  // namespace jroute

@@ -1,0 +1,34 @@
+// Adder tree: a two-level reduction of four operand buses through three
+// child ConstAdder cores — the deepest hierarchical core in the library
+// ("cores can contain cores", section 3.2), with all inter-child wiring
+// done port-to-port through the bus call.
+#pragma once
+
+#include <memory>
+
+#include "cores/const_adder.h"
+
+namespace jroute {
+
+class AdderTree : public RtpCore {
+ public:
+  explicit AdderTree(int width);
+
+  int width() const { return width_; }
+
+  /// Ports: groups "a0".."a3" (the four operand buses, aliased onto the
+  /// leaf adders' inputs) and "sum" (the root adder's outputs).
+  static constexpr const char* kOutGroup = "sum";
+
+ protected:
+  void doBuild(Router& router) override;
+  void doRemove(Router& router) override;
+
+ private:
+  int width_;
+  ConstAdder left_;
+  ConstAdder right_;
+  ConstAdder root_;
+};
+
+}  // namespace jroute

@@ -1,0 +1,109 @@
+#include "cores/block_ram.h"
+
+#include "arch/wires.h"
+#include "common/error.h"
+
+namespace jroute {
+
+using xcvsim::ArgumentError;
+using xcvsim::bramAd;
+using xcvsim::bramDi;
+using xcvsim::bramDo;
+using xcvsim::kBramBitsPerBlock;
+using xcvsim::kBramPinsPerTile;
+using xcvsim::kBramRowsPerBlock;
+
+BlockRam::BlockRam(BramSide side, int blockIndex)
+    : RtpCore("BlockRam" + std::to_string(blockIndex) +
+                  (side == BramSide::West ? "W" : "E"),
+              kBramRowsPerBlock, 1),
+      side_(side),
+      blockIndex_(blockIndex) {
+  if (blockIndex < 0) {
+    throw ArgumentError("BlockRam: negative block index");
+  }
+  for (int i = 0; i < kBramRowsPerBlock * kBramPinsPerTile; ++i) {
+    definePort("do[" + std::to_string(i) + "]", PortDir::Output, kOutGroup);
+    definePort("di[" + std::to_string(i) + "]", PortDir::Input, kInGroup);
+    definePort("addr[" + std::to_string(i) + "]", PortDir::Input,
+               kAddrGroup);
+  }
+}
+
+RowCol BlockRam::expectedOrigin(const xcvsim::DeviceSpec& dev) const {
+  return {static_cast<int16_t>(blockIndex_ * kBramRowsPerBlock),
+          static_cast<int16_t>(side_ == BramSide::West ? 0 : dev.cols - 1)};
+}
+
+void BlockRam::doBuild(Router& router) {
+  const auto& dev = router.fabric().graph().device();
+  if (blockIndex_ >=
+      router.fabric().jbits().bitstream().bramBlocksPerColumn()) {
+    throw ArgumentError("BlockRam: block index beyond the column");
+  }
+  // BRAM blocks have fixed positions: the core must be placed exactly on
+  // its block's CLB strip.
+  if (origin() != expectedOrigin(dev)) {
+    throw ArgumentError("BlockRam: block " + std::to_string(blockIndex_) +
+                        " must be placed at its fixed position");
+  }
+  const auto doP = getPorts(kOutGroup);
+  const auto diP = getPorts(kInGroup);
+  const auto adP = getPorts(kAddrGroup);
+  for (int r = 0; r < kBramRowsPerBlock; ++r) {
+    for (int k = 0; k < kBramPinsPerTile; ++k) {
+      const auto idx = static_cast<size_t>(r * kBramPinsPerTile + k);
+      doP[idx]->bindPin(at(r, 0, bramDo(k)));
+      diP[idx]->bindPin(at(r, 0, bramDi(k)));
+      adP[idx]->bindPin(at(r, 0, bramAd(k)));
+    }
+  }
+}
+
+void BlockRam::doRemove(Router& router) {
+  // Wipe the block's contents, like LUTs are wiped for CLB cores. placed_
+  // is still true at this point of the teardown.
+  auto& bs = router.fabric().jbits().bitstream();
+  for (int bit = 0; bit < kBramBitsPerBlock; ++bit) {
+    bs.setBramBit(static_cast<int>(side_), blockIndex_, bit, false);
+  }
+}
+
+void BlockRam::writeWord(Router& router, int addr, uint16_t value) {
+  if (!placed()) throw ArgumentError("BlockRam: place the core first");
+  if (addr < 0 || addr >= kBramBitsPerBlock / 16) {
+    throw ArgumentError("BlockRam: address out of range");
+  }
+  auto& bs = router.fabric().jbits().bitstream();
+  for (int b = 0; b < 16; ++b) {
+    bs.setBramBit(static_cast<int>(side_), blockIndex_, addr * 16 + b,
+                  (value >> b) & 1);
+  }
+}
+
+uint16_t BlockRam::readWord(const Router& router, int addr) const {
+  if (!placed()) throw ArgumentError("BlockRam: place the core first");
+  if (addr < 0 || addr >= kBramBitsPerBlock / 16) {
+    throw ArgumentError("BlockRam: address out of range");
+  }
+  const auto& bs = router.fabric().jbits().bitstream();
+  uint16_t v = 0;
+  for (int b = 0; b < 16; ++b) {
+    if (bs.getBramBit(static_cast<int>(side_), blockIndex_,
+                      addr * 16 + b)) {
+      v = static_cast<uint16_t>(v | (1u << b));
+    }
+  }
+  return v;
+}
+
+void BlockRam::load(Router& router, std::span<const uint16_t> words) {
+  if (words.size() > static_cast<size_t>(kBramBitsPerBlock / 16)) {
+    throw ArgumentError("BlockRam: load exceeds block capacity");
+  }
+  for (size_t a = 0; a < words.size(); ++a) {
+    writeWord(router, static_cast<int>(a), words[a]);
+  }
+}
+
+}  // namespace jroute

@@ -1,0 +1,57 @@
+// Block RAM: the last section 6 future-work item ("Block RAM will be
+// supported in a future release of JRoute"), supported.
+//
+// The simulated device carries one BRAM column on each side of the CLB
+// array. A block spans kBramRowsPerBlock CLB rows and exposes data-out,
+// data-in, and address pins on each adjacent edge tile (4 of each per
+// tile, so a 4-row block offers 16-bit ports). Contents (256 x 16) live
+// in the BRAM frame columns of the bitstream, so loading or updating a
+// RAM is partial reconfiguration like everything else.
+//
+// BlockRam is an RtpCore whose footprint is the adjacent CLB strip: its
+// ports route through the ordinary fabric, and remove() detaches them
+// like any core.
+#pragma once
+
+#include "cores/rtp_core.h"
+
+namespace jroute {
+
+/// Which BRAM column the block sits in.
+enum class BramSide : uint8_t { West = 0, East = 1 };
+
+class BlockRam : public RtpCore {
+ public:
+  /// Block `blockIndex` of the `side` column (blocks stack bottom-up,
+  /// each spanning kBramRowsPerBlock CLB rows).
+  BlockRam(BramSide side, int blockIndex);
+
+  BramSide side() const { return side_; }
+  int blockIndex() const { return blockIndex_; }
+
+  /// Content access: 256 words of 16 bits, stored in the BRAM frames.
+  /// Requires the core to be placed (the bitstream belongs to the fabric).
+  void writeWord(Router& router, int addr, uint16_t value);
+  uint16_t readWord(const Router& router, int addr) const;
+
+  /// Fill the whole block from a span (up to 256 words).
+  void load(Router& router, std::span<const uint16_t> words);
+
+  /// Ports: "do" (16 data outputs), "di" (16 data inputs), "addr" (16
+  /// address inputs).
+  static constexpr const char* kOutGroup = "do";
+  static constexpr const char* kInGroup = "di";
+  static constexpr const char* kAddrGroup = "addr";
+
+ protected:
+  void doBuild(Router& router) override;
+  void doRemove(Router& router) override;
+
+ private:
+  RowCol expectedOrigin(const xcvsim::DeviceSpec& dev) const;
+
+  BramSide side_;
+  int blockIndex_;
+};
+
+}  // namespace jroute

@@ -1,0 +1,47 @@
+#include "cores/comparator.h"
+
+#include "arch/wires.h"
+#include "common/error.h"
+
+namespace jroute {
+
+using xcvsim::slicePin;
+using xcvsim::sliceOut;
+
+Comparator::Comparator(int width)
+    : RtpCore("Comparator" + std::to_string(width), (width + 1) / 2, 1),
+      width_(width) {
+  if (width < 1 || width > 32) {
+    throw xcvsim::ArgumentError("Comparator width must be 1..32");
+  }
+  for (int i = 0; i < width; ++i) {
+    definePort("a[" + std::to_string(i) + "]", PortDir::Input, kAGroup);
+    definePort("b[" + std::to_string(i) + "]", PortDir::Input, kBGroup);
+  }
+  definePort("eq", PortDir::Output, kOutGroup);
+}
+
+void Comparator::doBuild(Router& router) {
+  const auto a = getPorts(kAGroup);
+  const auto b = getPorts(kBGroup);
+  for (int i = 0; i < width_; ++i) {
+    const int tile = i / 2;
+    const int s = i % 2;
+    // XNOR of the bit pair in the F-LUT (F1 = a, F2 = b), AND-chain in G.
+    setLut(router, tile, 0, s * 2, 0x9999);
+    setLut(router, tile, 0, s * 2 + 1, 0x8888);
+    a[static_cast<size_t>(i)]->bindPin(at(tile, 0, slicePin(s, 0)));
+    b[static_cast<size_t>(i)]->bindPin(at(tile, 0, slicePin(s, 1)));
+  }
+  // AND-reduction: each slice's X (xnor result) feeds the next slice's G1.
+  for (int i = 0; i + 1 < width_; ++i) {
+    const Pin from = at(i / 2, 0, sliceOut((i % 2) * 4));
+    const Pin to = at((i + 1) / 2, 0, slicePin((i + 1) % 2, 4));
+    router.route(EndPoint(from), EndPoint(to));
+  }
+  // Result leaves on the last slice's Y output.
+  getPorts(kOutGroup)[0]->bindPin(
+      at((width_ - 1) / 2, 0, sliceOut(((width_ - 1) % 2) * 4 + 2)));
+}
+
+}  // namespace jroute

@@ -1,0 +1,27 @@
+// Equality comparator: eq = (a == b), one bit pair per slice with an
+// AND-reduction chain down the strip.
+#pragma once
+
+#include "cores/rtp_core.h"
+
+namespace jroute {
+
+class Comparator : public RtpCore {
+ public:
+  explicit Comparator(int width);
+
+  int width() const { return width_; }
+
+  /// Ports: groups "a" and "b" (operands), group "eq" (1-bit result).
+  static constexpr const char* kAGroup = "a";
+  static constexpr const char* kBGroup = "b";
+  static constexpr const char* kOutGroup = "eq";
+
+ protected:
+  void doBuild(Router& router) override;
+
+ private:
+  int width_;
+};
+
+}  // namespace jroute

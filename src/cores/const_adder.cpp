@@ -1,0 +1,70 @@
+#include "cores/const_adder.h"
+
+#include "arch/wires.h"
+#include "common/error.h"
+
+namespace jroute {
+
+using xcvsim::slicePin;
+using xcvsim::sliceOut;
+
+namespace {
+
+/// Truth table of the sum LUT for one bit: sum = a ^ cin ^ k, with the
+/// constant bit folded in (inputs: F1 = a, F2 = cin).
+uint16_t sumLut(bool kBit) { return kBit ? 0x9999 : 0x6666; }
+
+int tileOf(int bit) { return bit / 2; }
+int sliceOf(int bit) { return bit % 2; }
+
+}  // namespace
+
+ConstAdder::ConstAdder(int width, uint32_t constant)
+    : RtpCore("ConstAdder" + std::to_string(width), (width + 1) / 2, 1),
+      width_(width),
+      constant_(constant) {
+  if (width < 1 || width > 32) {
+    throw xcvsim::ArgumentError("ConstAdder width must be 1..32");
+  }
+  for (int i = 0; i < width; ++i) {
+    definePort("a[" + std::to_string(i) + "]", PortDir::Input, kInGroup);
+    definePort("sum[" + std::to_string(i) + "]", PortDir::Output, kOutGroup);
+  }
+}
+
+void ConstAdder::programLuts(Router& router) {
+  for (int i = 0; i < width_; ++i) {
+    const bool kBit = (constant_ >> i) & 1;
+    // LUT index: slice 0 F-LUT = 0, slice 1 F-LUT = 2.
+    setLut(router, tileOf(i), 0, sliceOf(i) * 2, sumLut(kBit));
+  }
+}
+
+void ConstAdder::doBuild(Router& router) {
+  programLuts(router);
+
+  const auto in = getPorts(kInGroup);
+  const auto out = getPorts(kOutGroup);
+  for (int i = 0; i < width_; ++i) {
+    const int s = sliceOf(i);
+    // Operand bit arrives on the slice's F1 pin; the sum leaves on X.
+    in[static_cast<size_t>(i)]->bindPin(at(tileOf(i), 0, slicePin(s, 0)));
+    out[static_cast<size_t>(i)]->bindPin(at(tileOf(i), 0, sliceOut(s * 4)));
+  }
+
+  // Carry chain: Y output of each slice feeds F2 of the next bit's slice.
+  // Built with the auto-router — same-tile hops use the feedback PIPs,
+  // tile-to-tile hops the direct connects or singles.
+  for (int i = 0; i + 1 < width_; ++i) {
+    const Pin carryOut = at(tileOf(i), 0, sliceOut(sliceOf(i) * 4 + 2));
+    const Pin carryIn = at(tileOf(i + 1), 0, slicePin(sliceOf(i + 1), 1));
+    router.route(EndPoint(carryOut), EndPoint(carryIn));
+  }
+}
+
+void ConstAdder::setConstant(Router& router, uint32_t constant) {
+  constant_ = constant;
+  if (placed()) programLuts(router);
+}
+
+}  // namespace jroute

@@ -1,0 +1,37 @@
+// Constant adder: out = in + K, one result bit per slice, two per tile,
+// laid out as a vertical strip. Sum LUTs are programmed from the constant
+// (run-time parameterizable), and the carry chain is built with JRoute
+// auto-routing between adjacent slices — a core designed exactly per the
+// section 3.2 guidelines (grouped ports, router call per port, getPorts).
+#pragma once
+
+#include "cores/rtp_core.h"
+
+namespace jroute {
+
+class ConstAdder : public RtpCore {
+ public:
+  ConstAdder(int width, uint32_t constant);
+
+  int width() const { return width_; }
+  uint32_t constant() const { return constant_; }
+
+  /// Change the constant. If the core is placed, the LUTs are rewritten in
+  /// place (pure bitstream update — no rerouting needed).
+  void setConstant(Router& router, uint32_t constant);
+
+  /// Ports: group "a" (inputs, width bits), group "sum" (outputs).
+  static constexpr const char* kInGroup = "a";
+  static constexpr const char* kOutGroup = "sum";
+
+ protected:
+  void doBuild(Router& router) override;
+
+ private:
+  void programLuts(Router& router);
+
+  int width_;
+  uint32_t constant_;
+};
+
+}  // namespace jroute

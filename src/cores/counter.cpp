@@ -1,0 +1,40 @@
+#include "cores/counter.h"
+
+namespace jroute {
+
+Counter::Counter(int width, uint32_t step)
+    : RtpCore("Counter" + std::to_string(width), (width + 1) / 2, 1),
+      width_(width),
+      adder_(width, step) {
+  for (int i = 0; i < width; ++i) {
+    definePort("q[" + std::to_string(i) + "]", PortDir::Output, kOutGroup);
+  }
+}
+
+void Counter::doRemove(Router& router) {
+  if (adder_.placed()) adder_.remove(router);
+}
+
+void Counter::doBuild(Router& router) {
+  // Hierarchical placement: the child adder occupies this core's strip.
+  if (adder_.placed()) adder_.remove(router);
+  adder_.place(router, origin());
+
+  // Feedback bus: sum -> a, port-to-port, one JRoute call for the whole
+  // bus (the convenience section 3.1 advertises).
+  const auto sums = adder_.endPoints(ConstAdder::kOutGroup);
+  const auto ins = adder_.endPoints(ConstAdder::kInGroup);
+  router.route(std::span<const EndPoint>(sums),
+               std::span<const EndPoint>(ins));
+
+  // This core's q ports alias the adder's sum pins.
+  const auto q = getPorts(kOutGroup);
+  const auto sumPorts = adder_.getPorts(ConstAdder::kOutGroup);
+  for (int i = 0; i < width_; ++i) {
+    for (const Pin& p : sumPorts[static_cast<size_t>(i)]->pins()) {
+      q[static_cast<size_t>(i)]->bindPin(p);
+    }
+  }
+}
+
+}  // namespace jroute

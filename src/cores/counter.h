@@ -1,0 +1,31 @@
+// Counter built from a constant adder with the output fed back — the
+// paper's own composition example (section 4): "a counter can be made from
+// a constant adder with the output fed back to one input ports and the
+// other input set to a value of one." Demonstrates hierarchical cores:
+// the child adder is placed inside this core's footprint and the feedback
+// bus is routed port-to-port through the JRoute bus call.
+#pragma once
+
+#include "cores/const_adder.h"
+
+namespace jroute {
+
+class Counter : public RtpCore {
+ public:
+  explicit Counter(int width, uint32_t step = 1);
+
+  int width() const { return width_; }
+
+  /// Ports: group "q" — the count outputs (aliases of the adder's sums).
+  static constexpr const char* kOutGroup = "q";
+
+ protected:
+  void doBuild(Router& router) override;
+  void doRemove(Router& router) override;
+
+ private:
+  int width_;
+  ConstAdder adder_;
+};
+
+}  // namespace jroute

@@ -1,0 +1,78 @@
+#include "cores/kcm.h"
+
+#include "arch/wires.h"
+#include "common/error.h"
+
+namespace jroute {
+
+using xcvsim::slicePin;
+using xcvsim::sliceOut;
+
+namespace {
+
+/// Partial-product LUT: a 4-input slice of the constant multiplied by the
+/// LUT's input nibble. The truth table folds the constant's bits in, so a
+/// new constant means new tables and nothing else.
+uint16_t ppLut(uint32_t constant, int bit) {
+  uint16_t t = 0;
+  for (int x = 0; x < 16; ++x) {
+    const uint32_t prod = static_cast<uint32_t>(x) * constant;
+    if ((prod >> bit) & 1u) t = static_cast<uint16_t>(t | (1u << x));
+  }
+  return t;
+}
+
+int tileOf(int bit) { return bit / 2; }
+int sliceOf(int bit) { return bit % 2; }
+
+}  // namespace
+
+Kcm::Kcm(int width, uint32_t constant)
+    : RtpCore("Kcm" + std::to_string(width), (width + 1) / 2, 1),
+      width_(width),
+      constant_(constant) {
+  if (width < 1 || width > 32) {
+    throw xcvsim::ArgumentError("Kcm width must be 1..32");
+  }
+  for (int i = 0; i < width; ++i) {
+    definePort("x[" + std::to_string(i) + "]", PortDir::Input, kInGroup);
+    definePort("p[" + std::to_string(i) + "]", PortDir::Output, kOutGroup);
+  }
+}
+
+void Kcm::programLuts(Router& router) {
+  for (int i = 0; i < width_; ++i) {
+    // F-LUT holds the partial product, G-LUT the accumulate stage.
+    setLut(router, tileOf(i), 0, sliceOf(i) * 2, ppLut(constant_, i));
+    setLut(router, tileOf(i), 0, sliceOf(i) * 2 + 1, 0x6666);  // xor-accum
+  }
+}
+
+void Kcm::doBuild(Router& router) {
+  programLuts(router);
+
+  const auto in = getPorts(kInGroup);
+  const auto out = getPorts(kOutGroup);
+  for (int i = 0; i < width_; ++i) {
+    const int s = sliceOf(i);
+    in[static_cast<size_t>(i)]->bindPin(at(tileOf(i), 0, slicePin(s, 0)));
+    // Product bit leaves on the slice's Y output (the G accumulate LUT).
+    out[static_cast<size_t>(i)]->bindPin(
+        at(tileOf(i), 0, sliceOut(s * 4 + 2)));
+  }
+
+  // Accumulation chain: each partial product (X output) feeds the next
+  // bit's G1 accumulate input.
+  for (int i = 0; i + 1 < width_; ++i) {
+    const Pin pp = at(tileOf(i), 0, sliceOut(sliceOf(i) * 4));
+    const Pin acc = at(tileOf(i + 1), 0, slicePin(sliceOf(i + 1), 4));
+    router.route(EndPoint(pp), EndPoint(acc));
+  }
+}
+
+void Kcm::setConstant(Router& router, uint32_t constant) {
+  constant_ = constant;
+  if (placed()) programLuts(router);
+}
+
+}  // namespace jroute

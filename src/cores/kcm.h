@@ -1,0 +1,39 @@
+// Constant-coefficient multiplier (KCM): p = x * K, LUT-based partial
+// products with an accumulation chain. The paper's RTR showcase
+// (section 3.3): "consider a constant multiplier. The system connects it
+// to the circuit and later requires a new constant. The core can be
+// removed, unrouted, and replaced with a new constant multiplier without
+// having to specify connections again." setConstant() supports the faster
+// variant too — a pure LUT rewrite with all routing left in place.
+#pragma once
+
+#include "cores/rtp_core.h"
+
+namespace jroute {
+
+class Kcm : public RtpCore {
+ public:
+  Kcm(int width, uint32_t constant);
+
+  int width() const { return width_; }
+  uint32_t constant() const { return constant_; }
+
+  /// Rewrite the partial-product LUTs for a new constant (placed cores
+  /// update in place; no rerouting).
+  void setConstant(Router& router, uint32_t constant);
+
+  /// Ports: group "x" (multiplicand in), group "p" (product out).
+  static constexpr const char* kInGroup = "x";
+  static constexpr const char* kOutGroup = "p";
+
+ protected:
+  void doBuild(Router& router) override;
+
+ private:
+  void programLuts(Router& router);
+
+  int width_;
+  uint32_t constant_;
+};
+
+}  // namespace jroute

@@ -1,0 +1,78 @@
+#include "cores/lfsr.h"
+
+#include "arch/wires.h"
+#include "common/error.h"
+
+namespace jroute {
+
+using xcvsim::slicePin;
+using xcvsim::sliceOut;
+
+Lfsr::Lfsr(int width, uint32_t taps)
+    : RtpCore("Lfsr" + std::to_string(width), (width + 1) / 2, 1),
+      width_(width),
+      taps_(taps) {
+  if (width < 2 || width > 32) {
+    throw xcvsim::ArgumentError("Lfsr width must be 2..32");
+  }
+  if (taps == 0) {
+    throw xcvsim::ArgumentError("Lfsr needs at least one feedback tap");
+  }
+  for (int i = 0; i < width; ++i) {
+    definePort("q[" + std::to_string(i) + "]", PortDir::Output, kOutGroup);
+  }
+}
+
+Pin Lfsr::stageOut(int stage) const {
+  return at(stage / 2, 0, sliceOut((stage % 2) * 4 + 1));  // XQ
+}
+
+void Lfsr::routeTaps(Router& router) {
+  // Tapped stage outputs feed the feedback-XOR LUT inputs on slice 0 of
+  // the first tile: up to four taps on G1..G4 (pins 4..7).
+  int slot = 4;
+  for (int i = 0; i < width_ && slot < 8; ++i) {
+    if (!((taps_ >> i) & 1)) continue;
+    router.route(EndPoint(stageOut(i)), EndPoint(at(0, 0, slicePin(0, slot))));
+    ++slot;
+  }
+}
+
+void Lfsr::doBuild(Router& router) {
+  // Shift chain LUTs (identity into FF) and the feedback XOR LUT.
+  for (int i = 0; i < width_; ++i) {
+    setLut(router, i / 2, 0, (i % 2) * 2, 0xAAAA);
+  }
+  setLut(router, 0, 0, 0, 0x6996);  // 4-input parity for the XOR stage
+
+  const auto q = getPorts(kOutGroup);
+  for (int i = 0; i < width_; ++i) {
+    q[static_cast<size_t>(i)]->bindPin(stageOut(i));
+  }
+
+  // Shift connections stage i -> stage i+1.
+  for (int i = 0; i + 1 < width_; ++i) {
+    router.route(EndPoint(stageOut(i)),
+                 EndPoint(at((i + 1) / 2, 0, slicePin((i + 1) % 2, 0))));
+  }
+  routeTaps(router);
+}
+
+void Lfsr::setTaps(Router& router, uint32_t taps) {
+  if (taps == 0) {
+    throw xcvsim::ArgumentError("Lfsr needs at least one feedback tap");
+  }
+  if (!placed()) {
+    taps_ = taps;
+    return;
+  }
+  // Unroute the old tap nets: every tapped stage output drives a net that
+  // also carries the shift chain, so unroute and rebuild the whole core's
+  // internal nets — cheapest expressed as remove+place at the same spot.
+  const RowCol where = origin();
+  remove(router);
+  taps_ = taps;
+  place(router, where);
+}
+
+}  // namespace jroute

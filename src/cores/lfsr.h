@@ -1,0 +1,37 @@
+// Linear feedback shift register: `width` stages with XOR feedback taps —
+// the classic run-time parameterizable pseudo-random source. The taps are
+// a constructor parameter, so reseeding/re-polynomial-ing at run time is a
+// LUT rewrite plus (when taps move) a reroute of the feedback net.
+#pragma once
+
+#include "cores/rtp_core.h"
+
+namespace jroute {
+
+class Lfsr : public RtpCore {
+ public:
+  /// `taps` is a bitmask over stages feeding the XOR (bit i = stage i).
+  Lfsr(int width, uint32_t taps);
+
+  int width() const { return width_; }
+  uint32_t taps() const { return taps_; }
+
+  /// Re-tap the polynomial at run time: unroutes the old tap nets,
+  /// rewrites the feedback LUT, and routes the new taps.
+  void setTaps(Router& router, uint32_t taps);
+
+  /// Ports: group "q" — the register outputs.
+  static constexpr const char* kOutGroup = "q";
+
+ protected:
+  void doBuild(Router& router) override;
+
+ private:
+  void routeTaps(Router& router);
+  Pin stageOut(int stage) const;
+
+  int width_;
+  uint32_t taps_;
+};
+
+}  // namespace jroute

@@ -1,0 +1,56 @@
+#include "cores/register_bank.h"
+
+#include "arch/wires.h"
+#include "common/error.h"
+
+namespace jroute {
+
+using xcvsim::gclk;
+using xcvsim::S0CLK;
+using xcvsim::S1CLK;
+using xcvsim::slicePin;
+using xcvsim::sliceOut;
+
+RegisterBank::RegisterBank(int width)
+    : RtpCore("RegisterBank" + std::to_string(width), (width + 1) / 2, 1),
+      width_(width) {
+  if (width < 1 || width > 64) {
+    throw xcvsim::ArgumentError("RegisterBank width must be 1..64");
+  }
+  for (int i = 0; i < width; ++i) {
+    definePort("d[" + std::to_string(i) + "]", PortDir::Input, kInGroup);
+    definePort("q[" + std::to_string(i) + "]", PortDir::Output, kOutGroup);
+  }
+}
+
+void RegisterBank::doBuild(Router& router) {
+  const auto d = getPorts(kInGroup);
+  const auto q = getPorts(kOutGroup);
+  for (int i = 0; i < width_; ++i) {
+    const int tile = i / 2;
+    const int s = i % 2;
+    // Identity LUT in front of the flip-flop; FF-enable mode bit on.
+    setLut(router, tile, 0, s * 2, 0xAAAA);
+    router.fabric().jbits().setMiscBit(
+        {static_cast<int16_t>(origin().row + tile), origin().col}, s, true);
+    d[static_cast<size_t>(i)]->bindPin(at(tile, 0, slicePin(s, 0)));
+    // Registered output is the XQ pin.
+    q[static_cast<size_t>(i)]->bindPin(at(tile, 0, sliceOut(s * 4 + 1)));
+  }
+}
+
+void RegisterBank::clockFrom(Router& router, int gclkIndex) {
+  if (!placed()) {
+    throw xcvsim::ArgumentError("RegisterBank: place the core first");
+  }
+  std::vector<EndPoint> sinks;
+  for (int t = 0; t < rows(); ++t) {
+    sinks.push_back(EndPoint(at(t, 0, S0CLK)));
+    if (t * 2 + 1 < width_) sinks.push_back(EndPoint(at(t, 0, S1CLK)));
+  }
+  // The global net is addressable from any tile; use the bank's origin.
+  router.route(EndPoint(at(0, 0, gclk(gclkIndex))),
+               std::span<const EndPoint>(sinks));
+}
+
+}  // namespace jroute

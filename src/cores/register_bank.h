@@ -1,0 +1,30 @@
+// Register bank: width flip-flops, two per tile, with a global-clock
+// distribution helper. Exercises the dedicated clock network (GCLK nets
+// drive only the CLK pins) and the FF mode bits of the logic config.
+#pragma once
+
+#include "cores/rtp_core.h"
+
+namespace jroute {
+
+class RegisterBank : public RtpCore {
+ public:
+  explicit RegisterBank(int width);
+
+  int width() const { return width_; }
+
+  /// Route global clock net `gclkIndex` to every CLK pin of the bank.
+  void clockFrom(Router& router, int gclkIndex);
+
+  /// Ports: group "d" (inputs), group "q" (registered outputs).
+  static constexpr const char* kInGroup = "d";
+  static constexpr const char* kOutGroup = "q";
+
+ protected:
+  void doBuild(Router& router) override;
+
+ private:
+  int width_;
+};
+
+}  // namespace jroute

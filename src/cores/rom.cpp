@@ -1,0 +1,71 @@
+#include "cores/rom.h"
+
+#include <algorithm>
+
+#include "arch/wires.h"
+#include "common/error.h"
+
+namespace jroute {
+
+using xcvsim::slicePin;
+using xcvsim::sliceOut;
+
+Rom::Rom(int width, std::span<const uint16_t> contents)
+    : RtpCore("Rom" + std::to_string(width), (width + 1) / 2, 1),
+      width_(width) {
+  if (width < 1 || width > 16) {
+    throw xcvsim::ArgumentError("Rom width must be 1..16");
+  }
+  if (contents.size() > contents_.size()) {
+    throw xcvsim::ArgumentError("Rom holds at most 16 words");
+  }
+  std::copy(contents.begin(), contents.end(), contents_.begin());
+  for (int a = 0; a < 4; ++a) {
+    definePort("addr[" + std::to_string(a) + "]", PortDir::Input,
+               kAddrGroup);
+  }
+  for (int i = 0; i < width; ++i) {
+    definePort("data[" + std::to_string(i) + "]", PortDir::Output,
+               kOutGroup);
+  }
+}
+
+void Rom::programLuts(Router& router) {
+  // Bit plane i: LUT input x (the 4-bit address) looks up bit i of word x.
+  for (int i = 0; i < width_; ++i) {
+    uint16_t truth = 0;
+    for (int a = 0; a < 16; ++a) {
+      if ((contents_[static_cast<size_t>(a)] >> i) & 1) {
+        truth = static_cast<uint16_t>(truth | (1u << a));
+      }
+    }
+    setLut(router, i / 2, 0, (i % 2) * 2, truth);
+  }
+}
+
+void Rom::doBuild(Router& router) {
+  programLuts(router);
+  const auto addr = getPorts(kAddrGroup);
+  const auto data = getPorts(kOutGroup);
+  // Every bit plane consumes the same 4 address lines: the address ports
+  // bind the F1..F4 pins of EVERY slice in the strip (a multi-pin port —
+  // the router expands it to all pins, section 3.2).
+  for (int i = 0; i < width_; ++i) {
+    const int tile = i / 2;
+    const int s = i % 2;
+    for (int a = 0; a < 4; ++a) {
+      addr[static_cast<size_t>(a)]->bindPin(at(tile, 0, slicePin(s, a)));
+    }
+    data[static_cast<size_t>(i)]->bindPin(at(tile, 0, sliceOut(s * 4)));
+  }
+}
+
+void Rom::setWord(Router& router, int addr, uint16_t value) {
+  if (addr < 0 || addr >= 16) {
+    throw xcvsim::ArgumentError("Rom address out of range");
+  }
+  contents_[static_cast<size_t>(addr)] = value;
+  if (placed()) programLuts(router);
+}
+
+}  // namespace jroute

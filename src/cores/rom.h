@@ -1,0 +1,39 @@
+// LUT ROM: a 16-entry by `width`-bit read-only table, one output bit per
+// LUT. Run-time parameterizable contents — updating the table is a pure
+// bitstream operation (the JBits layer rewrites truth tables in place).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "cores/rtp_core.h"
+
+namespace jroute {
+
+class Rom : public RtpCore {
+ public:
+  /// 16 words of up to 16 bits; `width` selects how many bits are used.
+  Rom(int width, std::span<const uint16_t> contents);
+
+  int width() const { return width_; }
+  uint16_t word(int addr) const { return contents_[static_cast<size_t>(addr)]; }
+
+  /// Rewrite one word at run time (LUT-only partial reconfiguration).
+  void setWord(Router& router, int addr, uint16_t value);
+
+  /// Ports: group "addr" (4 shared address lines per output bit block),
+  /// group "data" (width output bits).
+  static constexpr const char* kAddrGroup = "addr";
+  static constexpr const char* kOutGroup = "data";
+
+ protected:
+  void doBuild(Router& router) override;
+
+ private:
+  void programLuts(Router& router);
+
+  int width_;
+  std::array<uint16_t, 16> contents_{};
+};
+
+}  // namespace jroute

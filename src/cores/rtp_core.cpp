@@ -1,0 +1,153 @@
+#include "cores/rtp_core.h"
+
+#include "arch/wires.h"
+#include "bitstream/pip_table.h"
+#include "common/error.h"
+
+namespace jroute {
+
+using xcvsim::ArgumentError;
+using xcvsim::kLutsPerTile;
+using xcvsim::kMiscLogicBits;
+using xcvsim::kSliceOutputs;
+using xcvsim::S0CLK;
+using xcvsim::S1CLK;
+using xcvsim::sliceOut;
+
+RtpCore::RtpCore(std::string name, int rows, int cols)
+    : name_(std::move(name)), rows_(rows), cols_(cols) {
+  if (rows <= 0 || cols <= 0) {
+    throw ArgumentError("core '" + name_ + "' has an empty footprint");
+  }
+}
+
+Port& RtpCore::definePort(std::string name, PortDir dir, std::string group) {
+  ports_.push_back(
+      std::make_unique<Port>(std::move(name), dir, std::move(group)));
+  return *ports_.back();
+}
+
+Pin RtpCore::at(int dRow, int dCol, LocalWire wire) const {
+  if (!placed_) {
+    throw ArgumentError("core '" + name_ + "' is not placed");
+  }
+  return Pin(origin_.row + dRow, origin_.col + dCol, wire);
+}
+
+void RtpCore::setLut(Router& router, int dRow, int dCol, int lut,
+                     uint16_t truth) {
+  router.fabric().jbits().setLut(
+      {static_cast<int16_t>(origin_.row + dRow),
+       static_cast<int16_t>(origin_.col + dCol)},
+      lut, truth);
+}
+
+void RtpCore::place(Router& router, RowCol origin) {
+  if (placed_) {
+    throw ArgumentError("core '" + name_ + "' is already placed");
+  }
+  const auto& dev = router.fabric().graph().device();
+  if (origin.row < 0 || origin.col < 0 || origin.row + rows_ > dev.rows ||
+      origin.col + cols_ > dev.cols) {
+    throw ArgumentError("core '" + name_ + "' does not fit at R" +
+                        std::to_string(origin.row) + "C" +
+                        std::to_string(origin.col));
+  }
+  origin_ = origin;
+  placed_ = true;
+  for (auto& p : ports_) p->clearPins();
+  try {
+    doBuild(router);
+  } catch (...) {
+    placed_ = false;
+    throw;
+  }
+}
+
+void RtpCore::remove(Router& router) {
+  if (!placed_) {
+    throw ArgumentError("core '" + name_ + "' is not placed");
+  }
+  auto& fabric = router.fabric();
+  // 1. Unroute every net sourced at a slice output inside the footprint
+  //    (internal nets and outgoing port connections alike).
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const RowCol rc{static_cast<int16_t>(origin_.row + r),
+                      static_cast<int16_t>(origin_.col + c)};
+      for (int o = 0; o < kSliceOutputs; ++o) {
+        const auto n = fabric.graph().nodeAt(rc, sliceOut(o));
+        if (fabric.isUsed(n)) {
+          router.unroute(EndPoint(Pin(rc, sliceOut(o))));
+        }
+      }
+    }
+  }
+  // 1b. Nets sourced at output-port pins that are not slice outputs
+  //     (BRAM data outputs, pad inputs bound to ports).
+  for (const auto& p : ports_) {
+    if (p->dir() != PortDir::Output) continue;
+    for (const Pin& pin : p->pins()) {
+      const auto n = fabric.graph().nodeAt(pin.rc, pin.wire);
+      if (n != xcvsim::kInvalidNode && fabric.isUsed(n) &&
+          fabric.driverOf(n) == xcvsim::kInvalidEdge) {
+        router.unroute(EndPoint(pin));
+      }
+    }
+  }
+  // 2. Detach incoming branches: input-port pins and clock pins fed by
+  //    nets whose sources live outside this core.
+  const auto detach = [&](const Pin& pin) {
+    const auto n = fabric.graph().nodeAt(pin.rc, pin.wire);
+    if (n != xcvsim::kInvalidNode && fabric.isUsed(n) &&
+        fabric.onOutCount(n) == 0) {
+      router.reverseUnroute(EndPoint(pin));
+    }
+  };
+  for (const auto& p : ports_) {
+    if (p->dir() == PortDir::Input) {
+      for (const Pin& pin : p->pins()) detach(pin);
+    }
+  }
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const RowCol rc{static_cast<int16_t>(origin_.row + r),
+                      static_cast<int16_t>(origin_.col + c)};
+      detach(Pin(rc, S0CLK));
+      detach(Pin(rc, S1CLK));
+      // 3. Wipe the logic configuration.
+      auto& jbits = fabric.jbits();
+      for (int lut = 0; lut < kLutsPerTile; ++lut) jbits.setLut(rc, lut, 0);
+      for (int b = 0; b < kMiscLogicBits; ++b) jbits.setMiscBit(rc, b, false);
+    }
+  }
+  doRemove(router);
+  for (auto& p : ports_) p->clearPins();
+  placed_ = false;
+}
+
+std::vector<Port*> RtpCore::getPorts(std::string_view group) const {
+  std::vector<Port*> out;
+  for (const auto& p : ports_) {
+    if (p->group() == group) out.push_back(p.get());
+  }
+  return out;
+}
+
+std::vector<EndPoint> RtpCore::endPoints(std::string_view group) const {
+  std::vector<EndPoint> out;
+  for (Port* p : getPorts(group)) out.push_back(EndPoint(*p));
+  return out;
+}
+
+std::vector<std::string> RtpCore::groups() const {
+  std::vector<std::string> out;
+  for (const auto& p : ports_) {
+    bool seen = false;
+    for (const auto& g : out) seen = seen || g == p->group();
+    if (!seen) out.push_back(p->group());
+  }
+  return out;
+}
+
+}  // namespace jroute

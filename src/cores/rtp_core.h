@@ -1,0 +1,94 @@
+// Run-time parameterizable (RTP) core framework — section 3.2's rules:
+//
+//   "With JRoute, a core can define ports. Ports are virtual pins that
+//    provide input or output points to the core. ... There are routing
+//    guidelines that need to be followed when designing a core. First,
+//    each port needs to be in a group. ... Second, the router needs to be
+//    called for each port defined. ... Finally, a getPorts() method must
+//    be defined for each group, which returns the array of Ports
+//    associated with that group."
+//
+// An RtpCore owns its ports for its whole lifetime (so the router's
+// remembered connections stay valid across replace/relocate), configures
+// its logic through JBits, and builds its internal routes through the
+// JRoute API itself. place()/remove() are the RTR lifecycle: remove
+// unroutes every net sourced inside the core, detaches incoming branches
+// at the core's input pins, and wipes the logic configuration — after
+// which the core can be re-placed anywhere and reconnected from the
+// router's memory.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/endpoint.h"
+#include "core/router.h"
+
+namespace jroute {
+
+class RtpCore {
+ public:
+  RtpCore(std::string name, int rows, int cols);
+  virtual ~RtpCore() = default;
+
+  RtpCore(const RtpCore&) = delete;
+  RtpCore& operator=(const RtpCore&) = delete;
+
+  const std::string& name() const { return name_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool placed() const { return placed_; }
+  RowCol origin() const { return origin_; }
+
+  /// Configure the core's logic and internal routing at `origin`.
+  /// Throws ArgumentError when the footprint does not fit the device.
+  void place(Router& router, RowCol origin);
+
+  /// Undo place(): unroute internally sourced nets, detach incoming
+  /// branches at this core's input pins, clear the logic configuration,
+  /// and unbind the ports. Remembered port connections survive in the
+  /// router (section 3.3).
+  void remove(Router& router);
+
+  /// The paper's getPorts(): the ports of one group, in definition order.
+  std::vector<Port*> getPorts(std::string_view group) const;
+
+  /// Same ports wrapped as EndPoints, ready for routing calls.
+  std::vector<EndPoint> endPoints(std::string_view group) const;
+
+  /// All group names, in first-definition order.
+  std::vector<std::string> groups() const;
+
+ protected:
+  /// Subclass hook: bind ports, program LUTs, build internal routes.
+  /// Called by place() with the origin already set; use at() for
+  /// footprint-relative pins.
+  virtual void doBuild(Router& router) = 0;
+
+  /// Subclass hook for extra teardown (e.g. removing child cores). Runs
+  /// after the standard unroute/wipe of remove(); unrouting is idempotent
+  /// there because every step checks live usage first.
+  virtual void doRemove(Router& router) { (void)router; }
+
+  /// Define a port (constructor-time; the set of ports is fixed for the
+  /// core's lifetime, only their pin bindings change).
+  Port& definePort(std::string name, PortDir dir, std::string group);
+
+  /// Footprint-relative pin. Precondition: placed().
+  Pin at(int dRow, int dCol, LocalWire wire) const;
+
+  /// Program a LUT of a footprint tile (0..3: S0F, S0G, S1F, S1G).
+  void setLut(Router& router, int dRow, int dCol, int lut, uint16_t truth);
+
+ private:
+  std::string name_;
+  int rows_;
+  int cols_;
+  bool placed_ = false;
+  RowCol origin_{};
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+}  // namespace jroute

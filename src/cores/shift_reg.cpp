@@ -1,0 +1,37 @@
+#include "cores/shift_reg.h"
+
+#include "arch/wires.h"
+#include "common/error.h"
+
+namespace jroute {
+
+using xcvsim::slicePin;
+using xcvsim::sliceOut;
+
+ShiftReg::ShiftReg(int depth)
+    : RtpCore("ShiftReg" + std::to_string(depth), (depth + 1) / 2, 1),
+      depth_(depth) {
+  if (depth < 2 || depth > 64) {
+    throw xcvsim::ArgumentError("ShiftReg depth must be 2..64");
+  }
+  definePort("si", PortDir::Input, kInGroup);
+  definePort("so", PortDir::Output, kOutGroup);
+}
+
+void ShiftReg::doBuild(Router& router) {
+  for (int i = 0; i < depth_; ++i) {
+    setLut(router, i / 2, 0, (i % 2) * 2, 0xAAAA);  // pass-through + FF
+  }
+  getPorts(kInGroup)[0]->bindPin(at(0, 0, slicePin(0, 0)));
+  getPorts(kOutGroup)[0]->bindPin(
+      at((depth_ - 1) / 2, 0, sliceOut(((depth_ - 1) % 2) * 4 + 1)));
+
+  // Chain: stage i's XQ output into stage i+1's F1 input.
+  for (int i = 0; i + 1 < depth_; ++i) {
+    const Pin from = at(i / 2, 0, sliceOut((i % 2) * 4 + 1));
+    const Pin to = at((i + 1) / 2, 0, slicePin((i + 1) % 2, 0));
+    router.route(EndPoint(from), EndPoint(to));
+  }
+}
+
+}  // namespace jroute

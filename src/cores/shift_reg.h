@@ -1,0 +1,26 @@
+// Serial shift register: `depth` stages, two per tile, chained with
+// auto-routed stage-to-stage connections.
+#pragma once
+
+#include "cores/rtp_core.h"
+
+namespace jroute {
+
+class ShiftReg : public RtpCore {
+ public:
+  explicit ShiftReg(int depth);
+
+  int depth() const { return depth_; }
+
+  /// Ports: group "si" (serial in, 1 bit), group "so" (serial out, 1 bit).
+  static constexpr const char* kInGroup = "si";
+  static constexpr const char* kOutGroup = "so";
+
+ protected:
+  void doBuild(Router& router) override;
+
+ private:
+  int depth_;
+};
+
+}  // namespace jroute

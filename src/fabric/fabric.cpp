@@ -1,0 +1,228 @@
+#include "fabric/fabric.h"
+
+#include <queue>
+
+namespace xcvsim {
+
+Fabric::Fabric(const Graph& graph, const PipTable& table)
+    : graph_(&graph), jbits_(graph.device(), table) {
+  nodeNet_.assign(graph.numNodes(), kInvalidNet);
+  nodeDriver_.assign(graph.numNodes(), kInvalidEdge);
+  onOut_.assign(graph.numNodes(), 0);
+  onBits_.assign((graph.numEdges() + 63) / 64, 0);
+}
+
+NetId Fabric::createNet(NodeId source, std::string name) {
+  if (source >= graph_->numNodes()) {
+    throw ArgumentError("createNet: invalid source node");
+  }
+  if (nodeNet_[source] != kInvalidNet) {
+    throw ContentionError("createNet: source segment already in use", source);
+  }
+  const NetId id = static_cast<NetId>(nets_.size());
+  nets_.push_back({source, std::move(name), 1, true});
+  nodeNet_[source] = id;
+  ++usedNodes_;
+  ++liveNets_;
+  return id;
+}
+
+void Fabric::removeNet(NetId net) {
+  if (!netExists(net)) throw ArgumentError("removeNet: unknown net");
+  NetInfo& info = nets_[net];
+  if (info.nodes != 1 || onOut_[info.source] != 0) {
+    throw JRouteError("removeNet: net '" + info.name +
+                      "' is still routed; unroute it first");
+  }
+  nodeNet_[info.source] = kInvalidNet;
+  --usedNodes_;
+  info.live = false;
+  info.nodes = 0;
+  --liveNets_;
+}
+
+bool Fabric::netExists(NetId net) const {
+  return net < nets_.size() && nets_[net].live;
+}
+
+NodeId Fabric::netSource(NetId net) const {
+  if (!netExists(net)) throw ArgumentError("netSource: unknown net");
+  return nets_[net].source;
+}
+
+const std::string& Fabric::netName(NetId net) const {
+  if (!netExists(net)) throw ArgumentError("netName: unknown net");
+  return nets_[net].name;
+}
+
+size_t Fabric::netSize(NetId net) const {
+  if (!netExists(net)) throw ArgumentError("netSize: unknown net");
+  return nets_[net].nodes;
+}
+
+void Fabric::writeThrough(EdgeId e, bool on) {
+  const Edge& ed = graph_->edge(e);
+  const RowCol rc{static_cast<int16_t>(ed.tileRow),
+                  static_cast<int16_t>(ed.tileCol)};
+  if (ed.fromLocal == kInvalidLocalWire) {
+    // Global clock pad driver.
+    jbits_.setGlobalPad(graph_->info(ed.to).track, on);
+    return;
+  }
+  if (graph_->nodeAt(rc, ed.toLocal) != ed.to) {
+    // Direct connect: the target pin belongs to a horizontal neighbour.
+    const NodeInfo ti = graph_->info(ed.to);
+    const Dir toward = ti.tile.col > rc.col ? Dir::East : Dir::West;
+    jbits_.setDirect(rc, toward, ed.fromLocal, ed.toLocal, on);
+    return;
+  }
+  jbits_.setPip(rc, ed.fromLocal, ed.toLocal, on);
+}
+
+void Fabric::turnOn(EdgeId e, NetId net) {
+  if (e >= graph_->numEdges()) throw ArgumentError("turnOn: invalid edge");
+  if (!netExists(net)) throw ArgumentError("turnOn: unknown net");
+  const Edge& ed = graph_->edge(e);
+  const NodeId u = graph_->edgeSource(e);
+  const NodeId v = ed.to;
+
+  if (nodeNet_[u] != net) {
+    throw ArgumentError("turnOn: PIP source segment " + graph_->nodeName(u) +
+                        " is not part of the net");
+  }
+  if (edgeOn(e)) return;  // idempotent within the net
+
+  if (nodeNet_[v] != kInvalidNet && nodeNet_[v] != net) {
+    throw ContentionError("segment " + graph_->nodeName(v) +
+                              " is already in use by net '" +
+                              nets_[nodeNet_[v]].name + "'",
+                          v);
+  }
+  if (nodeDriver_[v] != kInvalidEdge) {
+    throw ContentionError("segment " + graph_->nodeName(v) +
+                              " already has a driver (bidirectional "
+                              "contention)",
+                          v);
+  }
+  if (v == nets_[net].source) {
+    throw ContentionError("segment " + graph_->nodeName(v) +
+                              " is the net source and cannot be driven",
+                          v);
+  }
+
+  if (nodeNet_[v] == kInvalidNet) {
+    nodeNet_[v] = net;
+    ++nets_[net].nodes;
+    ++usedNodes_;
+  }
+  nodeDriver_[v] = e;
+  onBits_[e >> 6] |= uint64_t{1} << (e & 63);
+  ++onOut_[u];
+  ++onEdges_;
+  writeThrough(e, true);
+}
+
+void Fabric::releaseIfIdle(NodeId n) {
+  if (nodeNet_[n] == kInvalidNet) return;
+  const NetId net = nodeNet_[n];
+  if (n == nets_[net].source) return;  // sources persist until removeNet
+  if (nodeDriver_[n] == kInvalidEdge && onOut_[n] == 0) {
+    nodeNet_[n] = kInvalidNet;
+    --nets_[net].nodes;
+    --usedNodes_;
+  }
+}
+
+void Fabric::turnOff(EdgeId e) {
+  if (e >= graph_->numEdges()) throw ArgumentError("turnOff: invalid edge");
+  if (!edgeOn(e)) {
+    throw ArgumentError("turnOff: PIP is not on");
+  }
+  const NodeId u = graph_->edgeSource(e);
+  const NodeId v = graph_->edge(e).to;
+  onBits_[e >> 6] &= ~(uint64_t{1} << (e & 63));
+  --onEdges_;
+  --onOut_[u];
+  nodeDriver_[v] = kInvalidEdge;
+  writeThrough(e, false);
+  releaseIfIdle(v);
+  releaseIfIdle(u);
+}
+
+void Fabric::checkConsistency() const {
+  // Recount nodes/edges and verify tree structure per live net.
+  size_t used = 0, on = 0;
+  for (NodeId n = 0; n < graph_->numNodes(); ++n) {
+    if (nodeNet_[n] != kInvalidNet) ++used;
+    const EdgeId d = nodeDriver_[n];
+    if (d != kInvalidEdge) {
+      if (!edgeOn(d) || graph_->edge(d).to != n) {
+        throw JRouteError("driver bookkeeping corrupt at " +
+                          graph_->nodeName(n));
+      }
+    }
+    int outCount = 0;
+    const auto edges = graph_->out(n);
+    for (const Edge& ed : edges) {
+      const EdgeId id = static_cast<EdgeId>(&ed - &graph_->edge(0));
+      if (edgeOn(id)) {
+        ++outCount;
+        ++on;
+        if (nodeNet_[ed.to] != nodeNet_[n]) {
+          throw JRouteError("on-edge crosses nets at " + graph_->nodeName(n));
+        }
+      }
+    }
+    if (outCount != onOut_[n]) {
+      throw JRouteError("fanout count corrupt at " + graph_->nodeName(n));
+    }
+  }
+  if (used != usedNodes_ || on != onEdges_) {
+    throw JRouteError("fabric usage counters corrupt");
+  }
+  // Reachability: every claimed node reachable from its net's source.
+  std::vector<uint8_t> seen(graph_->numNodes(), 0);
+  for (NetId id = 0; id < nets_.size(); ++id) {
+    if (!nets_[id].live) continue;
+    std::queue<NodeId> q;
+    q.push(nets_[id].source);
+    seen[nets_[id].source] = 1;
+    size_t visited = 0;
+    while (!q.empty()) {
+      const NodeId n = q.front();
+      q.pop();
+      ++visited;
+      const auto edges = graph_->out(n);
+      for (const Edge& ed : edges) {
+        const EdgeId eid = static_cast<EdgeId>(&ed - &graph_->edge(0));
+        if (edgeOn(eid) && !seen[ed.to]) {
+          seen[ed.to] = 1;
+          q.push(ed.to);
+        }
+      }
+    }
+    if (visited != nets_[id].nodes) {
+      throw JRouteError("net '" + nets_[id].name +
+                        "' has segments unreachable from its source");
+    }
+  }
+}
+
+void Fabric::clear() {
+  for (NodeId n = 0; n < graph_->numNodes(); ++n) {
+    nodeNet_[n] = kInvalidNet;
+    nodeDriver_[n] = kInvalidEdge;
+    onOut_[n] = 0;
+  }
+  // Turn every on-PIP off in the bitstream as well.
+  for (EdgeId e = 0; e < graph_->numEdges(); ++e) {
+    if (edgeOn(e)) writeThrough(e, false);
+  }
+  onBits_.assign(onBits_.size(), 0);
+  nets_.clear();
+  usedNodes_ = 0;
+  onEdges_ = 0;
+  liveNets_ = 0;
+}
+
+}  // namespace xcvsim

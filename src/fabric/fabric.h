@@ -1,0 +1,114 @@
+// Live device state: which segments belong to which net, which PIPs are
+// on, and who drives what.
+//
+// This is the layer that implements the paper's section 3.4 guarantee:
+//
+//   "The Virtex architecture has bi-directional routing resources. This
+//    means that the track can be driven at either end, leading to the
+//    possibility of contention. The router makes sure that this situation
+//    does not occur, and therefore protects the device. An exception is
+//    thrown in cases where the user tries to make connections that create
+//    contention."
+//
+// Every turnOn() is validated: the driven segment must be free (or an
+// undriven member of the same net), and a segment can never acquire a
+// second driver — which is exactly the both-ends-driven hazard on
+// bidirectional singles, hexes, and long lines. Every state change is
+// written through the JBits layer into the configuration frames, so the
+// bitstream always reflects the fabric.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bitstream/jbits.h"
+#include "common/error.h"
+#include "rrg/graph.h"
+
+namespace xcvsim {
+
+class Fabric {
+ public:
+  Fabric(const Graph& graph, const PipTable& table);
+
+  const Graph& graph() const { return *graph_; }
+  JBits& jbits() { return jbits_; }
+  const JBits& jbits() const { return jbits_; }
+
+  // --- Net lifecycle --------------------------------------------------------
+
+  /// Register a new net driven from `source` (a slice output pin or a
+  /// global clock pad). The source node is claimed for the net.
+  NetId createNet(NodeId source, std::string name = {});
+
+  /// Remove a fully unrouted net (only its source node may remain claimed).
+  void removeNet(NetId net);
+
+  bool netExists(NetId net) const;
+  NodeId netSource(NetId net) const;
+  const std::string& netName(NetId net) const;
+  /// Number of segments currently claimed by the net (including source).
+  size_t netSize(NetId net) const;
+
+  // --- PIP switching --------------------------------------------------------
+
+  /// Turn on a PIP as part of `net`. Throws ContentionError when the driven
+  /// segment is in use by another net, already has a driver, or is a net
+  /// source; throws ArgumentError when the edge's own source segment does
+  /// not belong to `net`. Idempotent for an already-on edge of the net.
+  void turnOn(EdgeId e, NetId net);
+
+  /// Turn off an on PIP. The driven segment loses its driver; each
+  /// endpoint is released from its net once it has neither driver nor
+  /// remaining on out-edges (net sources are never released).
+  void turnOff(EdgeId e);
+
+  // --- Queries --------------------------------------------------------------
+
+  bool edgeOn(EdgeId e) const {
+    return (onBits_[e >> 6] >> (e & 63)) & 1;
+  }
+  /// The paper's ison(row, col, wire): is this segment in use by any net?
+  bool isUsed(NodeId n) const { return nodeNet_[n] != kInvalidNet; }
+  NetId netOf(NodeId n) const { return nodeNet_[n]; }
+  /// Incoming on-edge driving `n`; kInvalidEdge for free nodes and sources.
+  EdgeId driverOf(NodeId n) const { return nodeDriver_[n]; }
+  /// Number of on out-edges of `n` (its fanout within its net).
+  int onOutCount(NodeId n) const { return onOut_[n]; }
+
+  size_t usedNodeCount() const { return usedNodes_; }
+  size_t onEdgeCount() const { return onEdges_; }
+  size_t liveNetCount() const { return liveNets_; }
+
+  /// Structural invariant check (tests): every claimed node is reachable
+  /// from its net source over on-edges of the same net; driver bookkeeping
+  /// matches the on-edge set. Throws JRouteError on violation.
+  void checkConsistency() const;
+
+  /// Reset to a blank device (all nets gone, bitstream cleared).
+  void clear();
+
+ private:
+  struct NetInfo {
+    NodeId source = kInvalidNode;
+    std::string name;
+    size_t nodes = 0;
+    bool live = false;
+  };
+
+  void writeThrough(EdgeId e, bool on);
+  void releaseIfIdle(NodeId n);
+
+  const Graph* graph_;
+  JBits jbits_;
+  std::vector<NetId> nodeNet_;
+  std::vector<EdgeId> nodeDriver_;
+  std::vector<uint16_t> onOut_;
+  std::vector<uint64_t> onBits_;
+  std::vector<NetInfo> nets_;
+  size_t usedNodes_ = 0;
+  size_t onEdges_ = 0;
+  size_t liveNets_ = 0;
+};
+
+}  // namespace xcvsim

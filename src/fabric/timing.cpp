@@ -1,0 +1,55 @@
+#include "fabric/timing.h"
+
+#include <limits>
+
+#include "fabric/trace.h"
+
+namespace xcvsim {
+
+DelayPs arrivalAt(const Fabric& fabric, NodeId node) {
+  const Graph& g = fabric.graph();
+  DelayPs total = g.nodeDelay(node);
+  NodeId n = node;
+  while (true) {
+    const EdgeId d = fabric.driverOf(n);
+    if (d == kInvalidEdge) break;
+    n = g.edgeSource(d);
+    total += kPipDelayPs + g.nodeDelay(n);
+  }
+  return total;
+}
+
+NetTiming computeNetTiming(const Fabric& fabric, NodeId source) {
+  const Graph& g = fabric.graph();
+  NetTiming timing;
+  timing.minDelay = std::numeric_limits<DelayPs>::max();
+
+  // DFS accumulating delay; a node is a sink when it has no on out-edges.
+  struct Item {
+    NodeId node;
+    DelayPs delay;
+  };
+  std::vector<Item> stack{{source, g.nodeDelay(source)}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    bool leaf = true;
+    for (const Edge& ed : g.out(item.node)) {
+      const EdgeId eid = static_cast<EdgeId>(&ed - &g.edge(0));
+      if (fabric.edgeOn(eid)) {
+        leaf = false;
+        stack.push_back(
+            {ed.to, item.delay + kPipDelayPs + g.nodeDelay(ed.to)});
+      }
+    }
+    if (leaf && item.node != source) {
+      timing.sinks.push_back({item.node, item.delay});
+      timing.maxDelay = std::max(timing.maxDelay, item.delay);
+      timing.minDelay = std::min(timing.minDelay, item.delay);
+    }
+  }
+  if (timing.sinks.empty()) timing.minDelay = 0;
+  return timing;
+}
+
+}  // namespace xcvsim

@@ -1,0 +1,39 @@
+// Interconnect timing model.
+//
+// Delay accumulates along the driver chain: each segment contributes its
+// intrinsic delay (single < hex < long, per Graph::nodeDelay) and each PIP
+// a fixed switching delay. The model supports the paper's future-work
+// items — skew analysis for fanout nets and the long-line ablation of
+// experiment E8 — with relative magnitudes that mirror Virtex reality.
+#pragma once
+
+#include <vector>
+
+#include "fabric/fabric.h"
+
+namespace xcvsim {
+
+/// Fixed delay of one PIP (pass transistor + buffer).
+inline constexpr DelayPs kPipDelayPs = 60;
+
+struct SinkDelay {
+  NodeId sink = kInvalidNode;
+  DelayPs delay = 0;
+};
+
+struct NetTiming {
+  std::vector<SinkDelay> sinks;
+  DelayPs maxDelay = 0;
+  DelayPs minDelay = 0;
+
+  /// Clock skew across the net's sinks.
+  DelayPs skew() const { return maxDelay - minDelay; }
+};
+
+/// Arrival time at every sink of the net rooted at `source`.
+NetTiming computeNetTiming(const Fabric& fabric, NodeId source);
+
+/// Arrival time at one node of a routed net (sums its driver chain).
+DelayPs arrivalAt(const Fabric& fabric, NodeId node);
+
+}  // namespace xcvsim

@@ -1,0 +1,51 @@
+#include "fabric/trace.h"
+
+#include <algorithm>
+
+namespace xcvsim {
+
+std::vector<TraceHop> traceForward(const Fabric& fabric, NodeId start) {
+  const Graph& g = fabric.graph();
+  std::vector<TraceHop> hops;
+  std::vector<NodeId> stack{start};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const Edge& ed : g.out(n)) {
+      const EdgeId eid = static_cast<EdgeId>(&ed - &g.edge(0));
+      if (fabric.edgeOn(eid)) {
+        hops.push_back({eid, n, ed.to});
+        stack.push_back(ed.to);
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<TraceHop> traceBack(const Fabric& fabric, NodeId sink) {
+  const Graph& g = fabric.graph();
+  std::vector<TraceHop> hops;
+  NodeId n = sink;
+  while (true) {
+    const EdgeId d = fabric.driverOf(n);
+    if (d == kInvalidEdge) break;
+    const NodeId src = g.edgeSource(d);
+    hops.push_back({d, src, n});
+    n = src;
+  }
+  std::reverse(hops.begin(), hops.end());
+  return hops;
+}
+
+std::vector<NodeId> netSinks(const Fabric& fabric, NodeId start) {
+  std::vector<NodeId> sinks;
+  if (fabric.onOutCount(start) == 0) {
+    return sinks;  // a bare source has no sinks yet
+  }
+  for (const TraceHop& hop : traceForward(fabric, start)) {
+    if (fabric.onOutCount(hop.to) == 0) sinks.push_back(hop.to);
+  }
+  return sinks;
+}
+
+}  // namespace xcvsim

@@ -1,0 +1,61 @@
+#include "router/path_engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.h"
+
+namespace jroute {
+
+using xcvsim::ArgumentError;
+using xcvsim::Graph;
+using xcvsim::kInvalidEdge;
+using xcvsim::kInvalidNode;
+using xcvsim::NodeId;
+
+std::vector<EdgeId> resolvePath(const Graph& g, RowCol start,
+                                const std::vector<LocalWire>& wires) {
+  if (wires.size() < 2) {
+    throw ArgumentError("a path needs at least two wires");
+  }
+  NodeId cur = g.nodeAt(start, wires[0]);
+  if (cur == kInvalidNode) {
+    throw ArgumentError("path start wire " + xcvsim::wireName(wires[0]) +
+                        " does not exist at R" + std::to_string(start.row) +
+                        "C" + std::to_string(start.col));
+  }
+  std::vector<EdgeId> chain;
+  chain.reserve(wires.size() - 1);
+  RowCol entry = start;  // tile through which `cur` was entered
+  for (size_t i = 1; i < wires.size(); ++i) {
+    const LocalWire next = wires[i];
+    EdgeId found = kInvalidEdge;
+    // The cursor advances along each wire: try the taps of the current
+    // segment farthest from its entry tile first, so a single exits at its
+    // far end and a hex at END before MID (the paper's example semantics).
+    std::vector<RowCol> taps = g.tapsOf(cur);
+    std::stable_sort(taps.begin(), taps.end(),
+                     [&](const RowCol a, const RowCol b) {
+                       return manhattan(a, entry) > manhattan(b, entry);
+                     });
+    for (const RowCol tap : taps) {
+      const NodeId cand = g.nodeAt(tap, next);
+      if (cand == kInvalidNode) continue;
+      const EdgeId e = g.findEdge(cur, cand, tap);
+      if (e != kInvalidEdge) {
+        found = e;
+        entry = tap;
+        break;
+      }
+    }
+    if (found == kInvalidEdge) {
+      throw ArgumentError("path step " + std::to_string(i) + ": no PIP " +
+                          g.nodeName(cur) + " -> " + xcvsim::wireName(next));
+    }
+    chain.push_back(found);
+    cur = g.edge(found).to;
+  }
+  return chain;
+}
+
+}  // namespace jroute

@@ -1,0 +1,27 @@
+// Explicit-path resolution: turn a user Path (start tile + local wire
+// sequence, section 3.1) into the concrete PIP chain it denotes.
+//
+// The cursor starts at the path's location; after each wire is driven, the
+// cursor may sit at any tap of that segment (a single's far end, a hex's
+// MID or END), and the next wire in the list disambiguates: the connection
+// is made at whichever tap of the current segment exposes both wires with
+// a PIP between them.
+#pragma once
+
+#include <vector>
+
+#include "rrg/graph.h"
+
+namespace jroute {
+
+using xcvsim::EdgeId;
+using xcvsim::LocalWire;
+using xcvsim::RowCol;
+
+/// The PIP chain (source-side first) a path denotes. Throws ArgumentError
+/// when a wire does not exist at the cursor, or when no PIP connects two
+/// consecutive wires anywhere along the current segment.
+std::vector<EdgeId> resolvePath(const xcvsim::Graph& g, RowCol start,
+                                const std::vector<LocalWire>& wires);
+
+}  // namespace jroute

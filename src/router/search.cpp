@@ -1,0 +1,119 @@
+#include "router/search.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "fabric/timing.h"
+
+namespace jroute {
+
+using xcvsim::Graph;
+using xcvsim::kInvalidEdge;
+using xcvsim::kInvalidNet;
+using xcvsim::kPipDelayPs;
+using xcvsim::NodeKind;
+using xcvsim::RowCol;
+
+namespace {
+
+bool isLong(const Graph& g, NodeId n) {
+  const NodeKind k = g.info(n).kind;
+  return k == NodeKind::LongH || k == NodeKind::LongV;
+}
+
+/// Per-tile distance rate for the heuristic: a full-span hex progresses at
+/// ~126 ps/tile. A chip-spanning long line can beat that (~13 ps/tile),
+/// so with long lines enabled this is technically inadmissible for
+/// extreme-distance nets — but the router is deliberately a weighted
+/// (bounded-suboptimality) search anyway (RouterOptions::heuristicWeight),
+/// and the hex rate is what keeps the search focused.
+DelayPs perTileBound(bool /*useLongLines*/) { return 120; }
+
+}  // namespace
+
+MazeRouter::MazeRouter(const Graph& graph) : graph_(&graph) {
+  epochSeen_.assign(graph.numNodes(), 0);
+  gCost_.assign(graph.numNodes(), 0);
+  parent_.assign(graph.numNodes(), kInvalidEdge);
+  closed_.assign(graph.numNodes(), 0);
+}
+
+SearchResult MazeRouter::route(const Fabric& fabric, NetId net,
+                               std::span<const NodeId> starts, NodeId goal,
+                               const RouterOptions& opts) {
+  (void)net;  // same-net segments are exactly the start set
+  const Graph& g = *graph_;
+  SearchResult result;
+  ++epoch_;
+
+  const RowCol goalPos = g.positionOf(goal);
+  const DelayPs tileBound = static_cast<DelayPs>(
+      static_cast<double>(perTileBound(opts.useLongLines)) *
+      opts.heuristicWeight);
+  const auto h = [&](NodeId n) {
+    return static_cast<DelayPs>(manhattan(g.positionOf(n), goalPos)) *
+           tileBound;
+  };
+
+  using QItem = std::pair<DelayPs, NodeId>;  // (f, node)
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> open;
+
+  for (NodeId s : starts) {
+    if (s == goal) {
+      result.found = true;  // sink already on the net tree
+      return result;
+    }
+    epochSeen_[s] = epoch_;
+    gCost_[s] = 0;
+    parent_[s] = kInvalidEdge;
+    closed_[s] = 0;
+    open.emplace(h(s), s);
+  }
+
+  while (!open.empty()) {
+    const auto [f, n] = open.top();
+    open.pop();
+    if (closed_[n] && epochSeen_[n] == epoch_) continue;
+    closed_[n] = 1;
+    ++result.visited;
+    if (n == goal) {
+      // Reconstruct source-side-first edge chain.
+      NodeId cur = goal;
+      while (parent_[cur] != kInvalidEdge) {
+        const EdgeId e = parent_[cur];
+        result.edges.push_back(e);
+        cur = g.edgeSource(e);
+      }
+      std::reverse(result.edges.begin(), result.edges.end());
+      result.found = true;
+      return result;
+    }
+    if (result.visited > opts.maxMazeVisits) break;
+
+    for (const xcvsim::Edge& ed : g.out(n)) {
+      const NodeId v = ed.to;
+      if (!opts.useLongLines && isLong(g, v)) continue;
+      if (opts.mazeSinglesOnly) {
+        const NodeKind k = g.info(v).kind;
+        if (k != NodeKind::SingleH && k != NodeKind::SingleV &&
+            k != NodeKind::Logic && v != goal) {
+          continue;
+        }
+      }
+      // Nodes claimed by any net are obstacles; the net's own segments are
+      // only usable as starts (re-entering them would add a second driver).
+      if (fabric.isUsed(v) && v != goal) continue;
+      if (fabric.isUsed(goal) && v == goal) continue;
+      const DelayPs ng = gCost_[n] + kPipDelayPs + g.nodeDelay(v);
+      if (epochSeen_[v] == epoch_ && gCost_[v] <= ng) continue;
+      epochSeen_[v] = epoch_;
+      gCost_[v] = ng;
+      closed_[v] = 0;
+      parent_[v] = static_cast<EdgeId>(&ed - &g.edge(0));
+      open.emplace(ng + h(v), v);
+    }
+  }
+  return result;  // not found (or visit budget exhausted)
+}
+
+}  // namespace jroute

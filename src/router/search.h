@@ -1,0 +1,55 @@
+// A*-based maze router over the routing-resource graph.
+//
+// "One possibility is to use a maze router" (section 3.1) — this is the
+// fallback behind the auto-routing calls, and the workhorse of the greedy
+// fanout router: it accepts a *set* of start nodes (the already-routed net
+// tree, at cost 0) so each additional sink reuses the existing tree as
+// much as possible. Delay-weighted costs make it prefer the fast resource
+// mix (hexes over chains of singles, long lines over chains of hexes).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "router/options.h"
+
+namespace jroute {
+
+using xcvsim::DelayPs;
+using xcvsim::EdgeId;
+using xcvsim::Fabric;
+using xcvsim::NetId;
+using xcvsim::NodeId;
+
+struct SearchResult {
+  bool found = false;
+  /// Edges source-side first, ending on the goal. Empty when the goal was
+  /// already part of the start set.
+  std::vector<EdgeId> edges;
+  size_t visited = 0;
+};
+
+/// Reusable scratch space; one instance per Router, sized to the graph.
+class MazeRouter {
+ public:
+  explicit MazeRouter(const xcvsim::Graph& graph);
+
+  /// Search from any of `starts` (cost 0; they must belong to `net` or be
+  /// free) to `goal`. Nodes used by other nets are obstacles; nodes of
+  /// `net` itself are only usable as starts. The result's edge chain is
+  /// NOT turned on — the caller owns fabric mutation.
+  SearchResult route(const Fabric& fabric, NetId net,
+                     std::span<const NodeId> starts, NodeId goal,
+                     const RouterOptions& opts);
+
+ private:
+  const xcvsim::Graph* graph_;
+  std::vector<uint32_t> epochSeen_;
+  std::vector<DelayPs> gCost_;
+  std::vector<EdgeId> parent_;
+  std::vector<uint8_t> closed_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace jroute

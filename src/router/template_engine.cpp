@@ -1,0 +1,124 @@
+#include "router/template_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace jroute {
+
+using xcvsim::Edge;
+using xcvsim::Graph;
+using xcvsim::kInvalidLocalWire;
+using xcvsim::kInvalidNode;
+
+bool nodeMatchesWire(const Graph& g, NodeId n, LocalWire w) {
+  for (const xcvsim::RowCol rc : g.tapsOf(n)) {
+    if (g.aliasAt(n, rc) == w) return true;
+  }
+  // Globals have no finite tap list; compare canonical alias at (0, 0).
+  if (g.info(n).kind == xcvsim::NodeKind::Gclk) {
+    return g.aliasAt(n, {0, 0}) == w;
+  }
+  return false;
+}
+
+namespace {
+
+struct Walk {
+  const Fabric& fabric;
+  const Graph& g;
+  std::span<const TemplateValue> tmpl;
+  NodeId requiredTarget;
+  LocalWire requiredEndWire;
+  const RouterOptions& opts;
+  xcvsim::NetId net;                     // net of the start node
+  std::unordered_set<uint64_t> visited;  // (node, depth) pairs
+  std::unordered_set<NodeId> onPath;     // nodes of the current chain
+  TemplateResult result;
+
+  bool accept(NodeId node) const {
+    if (requiredTarget != kInvalidNode) return node == requiredTarget;
+    if (requiredEndWire != kInvalidLocalWire) {
+      return nodeMatchesWire(g, node, requiredEndWire);
+    }
+    return true;
+  }
+
+  /// Directional wires must make progress: after entering a single or hex
+  /// at tile `entry`, the walk may only leave it at a *different* tap —
+  /// exiting where it came in would mean the wire contributed no movement
+  /// and its template value (EAST1, NORTH6, ...) was a lie.
+  static bool directional(xcvsim::NodeKind k) {
+    return k == xcvsim::NodeKind::SingleH || k == xcvsim::NodeKind::SingleV ||
+           k == xcvsim::NodeKind::HexE || k == xcvsim::NodeKind::HexW ||
+           k == xcvsim::NodeKind::HexN || k == xcvsim::NodeKind::HexS;
+  }
+
+  // Depth-first, first-fit; edges accumulate in result.edges on success.
+  // `entry` is the tile through which `node` was entered (source tile for
+  // the walk's start).
+  bool step(NodeId node, xcvsim::RowCol entry, size_t depth) {
+    if (depth == tmpl.size()) return accept(node);
+    if (result.visited > opts.maxTemplateVisits) return false;
+    const uint64_t key = (static_cast<uint64_t>(node) << 8) | depth;
+    if (!visited.insert(key).second) return false;
+
+    const bool mustAdvance = directional(g.info(node).kind);
+    onPath.insert(node);
+    for (const Edge& ed : g.out(node)) {
+      const xcvsim::RowCol tile{static_cast<int16_t>(ed.tileRow),
+                                static_cast<int16_t>(ed.tileCol)};
+      if (mustAdvance && tile == entry) continue;
+      if (g.templateValueOf(ed.to, ed) != tmpl[depth]) continue;
+      // "...it checks to make sure the wire is not already in use" — by
+      // another net, or by an earlier hop of this very walk (looping
+      // templates would otherwise double-drive their own wires). Wires of
+      // the walk's OWN net are fine when entered through the exact PIP
+      // that already drives them: turning that PIP on again is the
+      // idempotent tree-reuse case, not contention.
+      if (onPath.count(ed.to)) continue;
+      if (fabric.isUsed(ed.to)) {
+        const EdgeId eid = static_cast<EdgeId>(&ed - &g.edge(0));
+        const bool ownChain = fabric.netOf(ed.to) == net &&
+                              fabric.driverOf(ed.to) == eid;
+        if (!ownChain) continue;
+      }
+      ++result.visited;
+      if (step(ed.to, tile, depth + 1)) {
+        result.edges.push_back(static_cast<EdgeId>(&ed - &g.edge(0)));
+        onPath.erase(node);
+        return true;
+      }
+    }
+    onPath.erase(node);
+    return false;
+  }
+};
+
+}  // namespace
+
+TemplateResult followTemplate(const Fabric& fabric, NodeId start,
+                              std::span<const TemplateValue> tmpl,
+                              NodeId requiredTarget,
+                              LocalWire requiredEndWire,
+                              const RouterOptions& opts) {
+  Walk walk{fabric,
+            fabric.graph(),
+            tmpl,
+            requiredTarget,
+            requiredEndWire,
+            opts,
+            fabric.netOf(start),
+            {},
+            {},
+            {}};
+  if (walk.step(start, fabric.graph().info(start).tile, 0)) {
+    walk.result.found = true;
+    std::reverse(walk.result.edges.begin(), walk.result.edges.end());
+    walk.result.finalNode = walk.result.edges.empty()
+                                ? start
+                                : walk.g.edge(walk.result.edges.back()).to;
+  }
+  return walk.result;
+}
+
+}  // namespace jroute

@@ -1,0 +1,101 @@
+#include "router/template_lib.h"
+
+#include <array>
+
+#include "arch/device.h"
+
+namespace jroute {
+
+using xcvsim::Dir;
+using xcvsim::hexValue;
+using xcvsim::kHexSpan;
+using xcvsim::singleValue;
+
+namespace {
+
+using Seq = std::vector<TemplateValue>;
+
+/// One axis decomposed into `hexes` hex steps plus `singles` single steps.
+struct AxisPlan {
+  TemplateValue hexStep;
+  TemplateValue singleStep;
+  int hexes = 0;
+  int singles = 0;
+};
+
+/// Decompositions of a 1-D displacement into hex/single steps: the exact
+/// split, and (when the remainder is large) an overshoot-and-come-back
+/// variant that trades singles for one extra hex.
+std::vector<AxisPlan> axisPlans(int delta, Dir fwd, Dir back) {
+  std::vector<AxisPlan> plans;
+  const int mag = delta < 0 ? -delta : delta;
+  const Dir dir = delta >= 0 ? fwd : back;
+  const Dir rev = delta >= 0 ? back : fwd;
+  plans.push_back(
+      {hexValue(dir), singleValue(dir), mag / kHexSpan, mag % kHexSpan});
+  if (mag % kHexSpan >= 4) {
+    AxisPlan over{hexValue(dir), singleValue(rev), mag / kHexSpan + 1,
+                  kHexSpan - mag % kHexSpan};
+    plans.push_back(over);
+  }
+  return plans;
+}
+
+void appendAxis(Seq& seq, const AxisPlan& plan) {
+  for (int i = 0; i < plan.hexes; ++i) seq.push_back(plan.hexStep);
+  for (int i = 0; i < plan.singles; ++i) seq.push_back(plan.singleStep);
+}
+
+}  // namespace
+
+std::vector<Seq> templatesFor(RowCol from, RowCol to, bool srcIsOutput,
+                              bool dstIsInput) {
+  const int dr = to.row - from.row;
+  const int dc = to.col - from.col;
+  std::vector<Seq> bodies;
+
+  if (dr == 0 && dc == 0 && srcIsOutput && dstIsInput) {
+    // Same-tile: the dedicated feedback PIP is a single hop to CLBIN.
+    bodies.push_back({});
+    // Or out on a single and back on the opposite one (out-and-return).
+    bodies.push_back({singleValue(Dir::East), singleValue(Dir::West)});
+    bodies.push_back({singleValue(Dir::North), singleValue(Dir::South)});
+  } else if (dr == 0 && (dc == 1 || dc == -1) && srcIsOutput && dstIsInput) {
+    // Horizontal neighbours: the dedicated direct connect, single hop.
+    bodies.push_back({});
+    bodies.push_back({singleValue(dc > 0 ? Dir::East : Dir::West)});
+  }
+
+  const auto rowPlans = axisPlans(dr, Dir::North, Dir::South);
+  const auto colPlans = axisPlans(dc, Dir::East, Dir::West);
+  for (const AxisPlan& rp : rowPlans) {
+    for (const AxisPlan& cp : colPlans) {
+      Seq colFirst;
+      appendAxis(colFirst, cp);
+      appendAxis(colFirst, rp);
+      bodies.push_back(colFirst);
+      if (dr != 0 && dc != 0) {
+        Seq rowFirst;
+        appendAxis(rowFirst, rp);
+        appendAxis(rowFirst, cp);
+        bodies.push_back(rowFirst);
+      }
+    }
+  }
+
+  std::vector<Seq> out;
+  out.reserve(bodies.size());
+  for (Seq& body : bodies) {
+    Seq t;
+    // Suppress OUTMUX for the zero-length bodies: those rely on the
+    // dedicated feedback / direct-connect PIPs straight off the output.
+    if (srcIsOutput && !body.empty()) t.push_back(TemplateValue::OUTMUX);
+    t.insert(t.end(), body.begin(), body.end());
+    if (dstIsInput) t.push_back(TemplateValue::CLBIN);
+    if (t.empty()) continue;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace jroute

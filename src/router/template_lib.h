@@ -1,0 +1,34 @@
+// Predefined template generation for auto point-to-point routing.
+//
+// "Another possibility that would potentially be faster is to define a set
+//  of unique and predefined templates that would get from the source to
+//  the sink and try each one. If all of them fail then the router could
+//  fall back on a maze algorithm. The benefit of defining the template
+//  would be to reduce the search space." (section 3.1)
+//
+// Templates decompose the tile displacement into hex (6-tile) and single
+// (1-tile) steps in a few orderings, bracketed by OUTMUX on the source
+// side and CLBIN on the sink side when the endpoints are logic pins.
+// Long lines are deliberately absent here (their exit point is data-
+// dependent, so fixed templates cannot target an exact sink); the maze
+// fallback exploits them instead.
+#pragma once
+
+#include <vector>
+
+#include "arch/template_value.h"
+#include "common/types.h"
+
+namespace jroute {
+
+using xcvsim::RowCol;
+using xcvsim::TemplateValue;
+
+/// Candidate templates for routing from tile `from` to tile `to`.
+/// `srcIsOutput`: prepend OUTMUX (source is a slice output pin).
+/// `dstIsInput`: append CLBIN (sink is a CLB input pin).
+std::vector<std::vector<TemplateValue>> templatesFor(RowCol from, RowCol to,
+                                                     bool srcIsOutput,
+                                                     bool dstIsInput);
+
+}  // namespace jroute

@@ -1,0 +1,652 @@
+#include "rrg/graph.h"
+
+#include <algorithm>
+
+#include "arch/patterns.h"
+#include "common/error.h"
+
+namespace xcvsim {
+namespace {
+
+constexpr NodeId kLogicPerTile = kSingleBase;  // locals [0,42) are logic
+constexpr int kTracks1 = kSinglesPerChannel;
+constexpr int kTracks6 = kHexTracks;
+
+int tapOffsetOf(HexTap tap) {
+  switch (tap) {
+    case HexTap::Beg: return 0;
+    case HexTap::Mid: return kHexMid;
+    case HexTap::End: return kHexSpan;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Graph::Graph(const DeviceSpec& dev) : dev_(dev), arch_(dev) {
+  if (dev.rows <= kHexSpan || dev.cols <= kHexSpan) {
+    throw ArgumentError("device too small for hex lines");
+  }
+  assignRanges();
+  buildEdges();
+}
+
+void Graph::assignRanges() {
+  const NodeId H = static_cast<NodeId>(dev_.rows);
+  const NodeId W = static_cast<NodeId>(dev_.cols);
+  NodeId n = H * W * kLogicPerTile;
+  hSingleBase_ = n;
+  n += H * (W - 1) * kTracks1;
+  vSingleBase_ = n;
+  n += (H - 1) * W * kTracks1;
+  hexEBase_ = n;
+  n += H * (W - kHexSpan) * kTracks6;
+  hexWBase_ = n;
+  n += H * (W - kHexSpan) * kTracks6;
+  hexNBase_ = n;
+  n += (H - kHexSpan) * W * kTracks6;
+  hexSBase_ = n;
+  n += (H - kHexSpan) * W * kTracks6;
+  longHBase_ = n;
+  n += H * kLongTracks;
+  longVBase_ = n;
+  n += W * kLongTracks;
+  gclkBase_ = n;
+  n += kGlobalNets;
+  gclkPadBase_ = n;
+  n += kGlobalNets;
+  iobInBase_ = n;
+  n += static_cast<NodeId>(numBoundaryTiles() * kIobsPerTile);
+  iobOutBase_ = n;
+  n += static_cast<NodeId>(numBoundaryTiles() * kIobsPerTile);
+  // BRAM port pins: 2 edge columns x H tiles x (DO: 4) and (DI+AD: 8).
+  bramOutBase_ = n;
+  n += static_cast<NodeId>(kBramColumns * dev_.rows * kBramPinsPerTile);
+  bramInBase_ = n;
+  n += static_cast<NodeId>(kBramColumns * dev_.rows * 2 * kBramPinsPerTile);
+  numNodes_ = n;
+}
+
+int Graph::numBoundaryTiles() const {
+  return 2 * dev_.cols + 2 * (dev_.rows - 2);
+}
+
+int Graph::perimeterIndex(RowCol rc) const {
+  const int H = dev_.rows, W = dev_.cols;
+  if (!dev_.contains(rc)) return -1;
+  if (rc.row == 0) return rc.col;
+  if (rc.row == H - 1) return W + rc.col;
+  if (rc.col == 0) return 2 * W + (rc.row - 1);
+  if (rc.col == W - 1) return 2 * W + (H - 2) + (rc.row - 1);
+  return -1;
+}
+
+NodeId Graph::nodeAt(RowCol rc, LocalWire w) const {
+  const int H = dev_.rows, W = dev_.cols;
+  const int r = rc.row, c = rc.col;
+  if (r < 0 || r >= H || c < 0 || c >= W || !isValidWire(w)) {
+    return kInvalidNode;
+  }
+  if (w < kLogicPerTile) {
+    return static_cast<NodeId>(r * W + c) * kLogicPerTile + w;
+  }
+  switch (wireKind(w)) {
+    case WireKind::Single: {
+      const int t = wireIndex(w);
+      switch (wireDir(w)) {
+        case Dir::East:
+          if (c + 1 >= W) return kInvalidNode;
+          return hSingleBase_ +
+                 static_cast<NodeId>((r * (W - 1) + c) * kTracks1 + t);
+        case Dir::West:
+          if (c - 1 < 0) return kInvalidNode;
+          return hSingleBase_ +
+                 static_cast<NodeId>((r * (W - 1) + c - 1) * kTracks1 + t);
+        case Dir::North:
+          if (r + 1 >= H) return kInvalidNode;
+          return vSingleBase_ +
+                 static_cast<NodeId>((r * W + c) * kTracks1 + t);
+        case Dir::South:
+          if (r - 1 < 0) return kInvalidNode;
+          return vSingleBase_ +
+                 static_cast<NodeId>(((r - 1) * W + c) * kTracks1 + t);
+      }
+      return kInvalidNode;
+    }
+    case WireKind::Hex: {
+      const int t = wireIndex(w);
+      const Dir d = wireDir(w);
+      const int off = tapOffsetOf(wireHexTap(w));
+      const int orow = r - off * dirDRow(d);
+      const int ocol = c - off * dirDCol(d);
+      const int erow = orow + kHexSpan * dirDRow(d);
+      const int ecol = ocol + kHexSpan * dirDCol(d);
+      if (orow < 0 || orow >= H || ocol < 0 || ocol >= W || erow < 0 ||
+          erow >= H || ecol < 0 || ecol >= W) {
+        return kInvalidNode;
+      }
+      switch (d) {
+        case Dir::East:
+          return hexEBase_ + static_cast<NodeId>(
+                                 (orow * (W - kHexSpan) + ocol) * kTracks6 + t);
+        case Dir::West:
+          return hexWBase_ +
+                 static_cast<NodeId>(
+                     (orow * (W - kHexSpan) + (ocol - kHexSpan)) * kTracks6 +
+                     t);
+        case Dir::North:
+          return hexNBase_ +
+                 static_cast<NodeId>((orow * W + ocol) * kTracks6 + t);
+        case Dir::South:
+          return hexSBase_ + static_cast<NodeId>(
+                                 ((orow - kHexSpan) * W + ocol) * kTracks6 + t);
+      }
+      return kInvalidNode;
+    }
+    case WireKind::Long: {
+      const int t = wireIndex(w);
+      if (w < kLongVBase) {
+        if (!longAccessibleAt(t, c)) return kInvalidNode;
+        return longHBase_ + static_cast<NodeId>(r * kLongTracks + t);
+      }
+      if (!longAccessibleAt(t, r)) return kInvalidNode;
+      return longVBase_ + static_cast<NodeId>(c * kLongTracks + t);
+    }
+    case WireKind::Gclk:
+      return gclkBase_ + static_cast<NodeId>(wireIndex(w));
+    case WireKind::IobIn:
+    case WireKind::IobOut: {
+      const int p = perimeterIndex(rc);
+      if (p < 0) return kInvalidNode;
+      const NodeId base =
+          wireKind(w) == WireKind::IobIn ? iobInBase_ : iobOutBase_;
+      return base + static_cast<NodeId>(p * kIobsPerTile + wireIndex(w));
+    }
+    case WireKind::BramOut: {
+      if (!isBramTile(dev_, rc)) return kInvalidNode;
+      const int side = rc.col == 0 ? 0 : 1;
+      return bramOutBase_ +
+             static_cast<NodeId>((side * H + r) * kBramPinsPerTile +
+                                 wireIndex(w));
+    }
+    case WireKind::BramIn: {
+      if (!isBramTile(dev_, rc)) return kInvalidNode;
+      const int side = rc.col == 0 ? 0 : 1;
+      return bramInBase_ +
+             static_cast<NodeId>((side * H + r) * 2 * kBramPinsPerTile +
+                                 wireIndex(w));
+    }
+    default:
+      return kInvalidNode;
+  }
+}
+
+NodeInfo Graph::info(NodeId n) const {
+  const int W = dev_.cols;
+  NodeInfo inf{};
+  if (n < hSingleBase_) {
+    const NodeId tile = n / kLogicPerTile;
+    inf.kind = NodeKind::Logic;
+    inf.local = static_cast<LocalWire>(n % kLogicPerTile);
+    inf.tile = {static_cast<int16_t>(tile / static_cast<NodeId>(W)),
+                static_cast<int16_t>(tile % static_cast<NodeId>(W))};
+    inf.track = inf.local;
+    return inf;
+  }
+  if (n < vSingleBase_) {
+    const NodeId i = n - hSingleBase_;
+    inf.kind = NodeKind::SingleH;
+    inf.track = static_cast<int>(i % kTracks1);
+    const NodeId chan = i / kTracks1;
+    inf.tile = {static_cast<int16_t>(chan / static_cast<NodeId>(W - 1)),
+                static_cast<int16_t>(chan % static_cast<NodeId>(W - 1))};
+    return inf;
+  }
+  if (n < hexEBase_) {
+    const NodeId i = n - vSingleBase_;
+    inf.kind = NodeKind::SingleV;
+    inf.track = static_cast<int>(i % kTracks1);
+    const NodeId chan = i / kTracks1;
+    inf.tile = {static_cast<int16_t>(chan / static_cast<NodeId>(W)),
+                static_cast<int16_t>(chan % static_cast<NodeId>(W))};
+    return inf;
+  }
+  const auto decodeHexH = [&](NodeId base, NodeKind kind, int originShift) {
+    const NodeId i = n - base;
+    inf.kind = kind;
+    inf.track = static_cast<int>(i % kTracks6);
+    const NodeId cell = i / kTracks6;
+    inf.tile = {
+        static_cast<int16_t>(cell / static_cast<NodeId>(W - kHexSpan)),
+        static_cast<int16_t>(cell % static_cast<NodeId>(W - kHexSpan) +
+                             static_cast<NodeId>(originShift))};
+  };
+  const auto decodeHexV = [&](NodeId base, NodeKind kind, int originShift) {
+    const NodeId i = n - base;
+    inf.kind = kind;
+    inf.track = static_cast<int>(i % kTracks6);
+    const NodeId cell = i / kTracks6;
+    inf.tile = {static_cast<int16_t>(cell / static_cast<NodeId>(W) +
+                                     static_cast<NodeId>(originShift)),
+                static_cast<int16_t>(cell % static_cast<NodeId>(W))};
+  };
+  if (n < hexWBase_) {
+    decodeHexH(hexEBase_, NodeKind::HexE, 0);
+    return inf;
+  }
+  if (n < hexNBase_) {
+    decodeHexH(hexWBase_, NodeKind::HexW, kHexSpan);
+    return inf;
+  }
+  if (n < hexSBase_) {
+    decodeHexV(hexNBase_, NodeKind::HexN, 0);
+    return inf;
+  }
+  if (n < longHBase_) {
+    decodeHexV(hexSBase_, NodeKind::HexS, kHexSpan);
+    return inf;
+  }
+  if (n < longVBase_) {
+    const NodeId i = n - longHBase_;
+    inf.kind = NodeKind::LongH;
+    inf.track = static_cast<int>(i % kLongTracks);
+    inf.tile = {static_cast<int16_t>(i / kLongTracks), 0};
+    return inf;
+  }
+  if (n < gclkBase_) {
+    const NodeId i = n - longVBase_;
+    inf.kind = NodeKind::LongV;
+    inf.track = static_cast<int>(i % kLongTracks);
+    inf.tile = {0, static_cast<int16_t>(i / kLongTracks)};
+    return inf;
+  }
+  if (n < gclkPadBase_) {
+    inf.kind = NodeKind::Gclk;
+    inf.track = static_cast<int>(n - gclkBase_);
+    inf.tile = {0, 0};
+    return inf;
+  }
+  if (n < iobInBase_) {
+    inf.kind = NodeKind::GclkPad;
+    inf.track = static_cast<int>(n - gclkPadBase_);
+    inf.tile = {0, 0};
+    return inf;
+  }
+  if (n < bramOutBase_) {
+    const bool isIn = n < iobOutBase_;
+    const NodeId i = n - (isIn ? iobInBase_ : iobOutBase_);
+    inf.kind = isIn ? NodeKind::IobIn : NodeKind::IobOut;
+    inf.track = static_cast<int>(i % kIobsPerTile);
+    // Invert the perimeter numbering back to the boundary tile.
+    const int H = dev_.rows;
+    const int p = static_cast<int>(i / kIobsPerTile);
+    if (p < W) {
+      inf.tile = {0, static_cast<int16_t>(p)};
+    } else if (p < 2 * W) {
+      inf.tile = {static_cast<int16_t>(H - 1), static_cast<int16_t>(p - W)};
+    } else if (p < 2 * W + (H - 2)) {
+      inf.tile = {static_cast<int16_t>(p - 2 * W + 1), 0};
+    } else {
+      inf.tile = {static_cast<int16_t>(p - 2 * W - (H - 2) + 1),
+                  static_cast<int16_t>(W - 1)};
+    }
+    return inf;
+  }
+  if (n < numNodes_) {
+    const bool isOut = n < bramInBase_;
+    const NodeId i = n - (isOut ? bramOutBase_ : bramInBase_);
+    const int per = isOut ? kBramPinsPerTile : 2 * kBramPinsPerTile;
+    inf.kind = isOut ? NodeKind::BramOut : NodeKind::BramIn;
+    inf.track = static_cast<int>(i) % per;
+    const int cell = static_cast<int>(i) / per;
+    const int side = cell / dev_.rows;
+    inf.tile = {static_cast<int16_t>(cell % dev_.rows),
+                static_cast<int16_t>(side == 0 ? 0 : W - 1)};
+    return inf;
+  }
+  throw ArgumentError("node id out of range: " + std::to_string(n));
+}
+
+LocalWire Graph::aliasAt(NodeId n, RowCol rc) const {
+  const NodeInfo inf = info(n);
+  switch (inf.kind) {
+    case NodeKind::Logic:
+      return rc == inf.tile ? inf.local : kInvalidLocalWire;
+    case NodeKind::SingleH:
+      if (rc == inf.tile) return single(Dir::East, inf.track);
+      if (rc.row == inf.tile.row && rc.col == inf.tile.col + 1) {
+        return single(Dir::West, inf.track);
+      }
+      return kInvalidLocalWire;
+    case NodeKind::SingleV:
+      if (rc == inf.tile) return single(Dir::North, inf.track);
+      if (rc.col == inf.tile.col && rc.row == inf.tile.row + 1) {
+        return single(Dir::South, inf.track);
+      }
+      return kInvalidLocalWire;
+    case NodeKind::HexE:
+    case NodeKind::HexW:
+    case NodeKind::HexN:
+    case NodeKind::HexS: {
+      const Dir d = inf.kind == NodeKind::HexE   ? Dir::East
+                    : inf.kind == NodeKind::HexW ? Dir::West
+                    : inf.kind == NodeKind::HexN ? Dir::North
+                                                 : Dir::South;
+      const int dr = rc.row - inf.tile.row;
+      const int dc = rc.col - inf.tile.col;
+      const int along = dr * dirDRow(d) + dc * dirDCol(d);
+      const int cross = dr * dirDCol(d) + dc * dirDRow(d);
+      if (cross != 0) return kInvalidLocalWire;
+      if (along == 0) return hex(d, HexTap::Beg, inf.track);
+      if (along == kHexMid) return hex(d, HexTap::Mid, inf.track);
+      if (along == kHexSpan) return hex(d, HexTap::End, inf.track);
+      return kInvalidLocalWire;
+    }
+    case NodeKind::LongH:
+      if (rc.row == inf.tile.row && longAccessibleAt(inf.track, rc.col)) {
+        return longH(inf.track);
+      }
+      return kInvalidLocalWire;
+    case NodeKind::LongV:
+      if (rc.col == inf.tile.col && longAccessibleAt(inf.track, rc.row)) {
+        return longV(inf.track);
+      }
+      return kInvalidLocalWire;
+    case NodeKind::Gclk:
+      return dev_.contains(rc) ? gclk(inf.track) : kInvalidLocalWire;
+    case NodeKind::GclkPad:
+      return kInvalidLocalWire;
+    case NodeKind::IobIn:
+      return rc == inf.tile ? iobIn(inf.track) : kInvalidLocalWire;
+    case NodeKind::IobOut:
+      return rc == inf.tile ? iobOut(inf.track) : kInvalidLocalWire;
+    case NodeKind::BramOut:
+      return rc == inf.tile ? bramDo(inf.track) : kInvalidLocalWire;
+    case NodeKind::BramIn:
+      if (rc != inf.tile) return kInvalidLocalWire;
+      return inf.track < kBramPinsPerTile
+                 ? bramDi(inf.track)
+                 : bramAd(inf.track - kBramPinsPerTile);
+  }
+  return kInvalidLocalWire;
+}
+
+std::vector<RowCol> Graph::tapsOf(NodeId n) const {
+  const NodeInfo inf = info(n);
+  std::vector<RowCol> taps;
+  switch (inf.kind) {
+    case NodeKind::Logic:
+      taps.push_back(inf.tile);
+      break;
+    case NodeKind::SingleH:
+      taps.push_back(inf.tile);
+      taps.push_back({inf.tile.row, static_cast<int16_t>(inf.tile.col + 1)});
+      break;
+    case NodeKind::SingleV:
+      taps.push_back(inf.tile);
+      taps.push_back({static_cast<int16_t>(inf.tile.row + 1), inf.tile.col});
+      break;
+    case NodeKind::HexE:
+    case NodeKind::HexW:
+    case NodeKind::HexN:
+    case NodeKind::HexS: {
+      const Dir d = inf.kind == NodeKind::HexE   ? Dir::East
+                    : inf.kind == NodeKind::HexW ? Dir::West
+                    : inf.kind == NodeKind::HexN ? Dir::North
+                                                 : Dir::South;
+      for (int off : {0, kHexMid, kHexSpan}) {
+        taps.push_back({static_cast<int16_t>(inf.tile.row + off * dirDRow(d)),
+                        static_cast<int16_t>(inf.tile.col + off * dirDCol(d))});
+      }
+      break;
+    }
+    case NodeKind::LongH:
+      for (int c = 0; c < dev_.cols; ++c) {
+        if (longAccessibleAt(inf.track, c)) {
+          taps.push_back({inf.tile.row, static_cast<int16_t>(c)});
+        }
+      }
+      break;
+    case NodeKind::LongV:
+      for (int r = 0; r < dev_.rows; ++r) {
+        if (longAccessibleAt(inf.track, r)) {
+          taps.push_back({static_cast<int16_t>(r), inf.tile.col});
+        }
+      }
+      break;
+    case NodeKind::Gclk:
+    case NodeKind::GclkPad:
+      break;  // addressable everywhere / nowhere
+    case NodeKind::IobIn:
+    case NodeKind::IobOut:
+    case NodeKind::BramOut:
+    case NodeKind::BramIn:
+      taps.push_back(inf.tile);
+      break;
+  }
+  return taps;
+}
+
+RowCol Graph::positionOf(NodeId n) const {
+  const NodeInfo inf = info(n);
+  switch (inf.kind) {
+    case NodeKind::SingleH:
+    case NodeKind::SingleV:
+      return inf.tile;
+    case NodeKind::HexE:
+      return {inf.tile.row, static_cast<int16_t>(inf.tile.col + kHexMid)};
+    case NodeKind::HexW:
+      return {inf.tile.row, static_cast<int16_t>(inf.tile.col - kHexMid)};
+    case NodeKind::HexN:
+      return {static_cast<int16_t>(inf.tile.row + kHexMid), inf.tile.col};
+    case NodeKind::HexS:
+      return {static_cast<int16_t>(inf.tile.row - kHexMid), inf.tile.col};
+    case NodeKind::LongH:
+      return {inf.tile.row, static_cast<int16_t>(dev_.cols / 2)};
+    case NodeKind::LongV:
+      return {static_cast<int16_t>(dev_.rows / 2), inf.tile.col};
+    default:
+      return inf.tile;
+  }
+}
+
+void Graph::buildEdges() {
+  outOff_.assign(numNodes_ + 1, 0);
+
+  // Pass 1: out-degree per node.
+  const auto forAllPips = [&](auto&& cb) {
+    for (int16_t r = 0; r < dev_.rows; ++r) {
+      for (int16_t c = 0; c < dev_.cols; ++c) {
+        const RowCol rc{r, c};
+        arch_.forEachTilePip(rc, [&](LocalWire f, LocalWire t) {
+          cb(nodeAt(rc, f), nodeAt(rc, t), rc, f, t);
+        });
+        arch_.forEachDirectConnect(
+            rc, [&](LocalWire f, RowCol dst, LocalWire t) {
+              cb(nodeAt(rc, f), nodeAt(dst, t), rc, f, t);
+            });
+      }
+    }
+    for (int k = 0; k < kGlobalNets; ++k) {
+      cb(gclkPad(k), gclkNet(k), RowCol{0, 0}, kInvalidLocalWire, gclk(k));
+    }
+  };
+
+  forAllPips([&](NodeId from, NodeId to, RowCol, LocalWire, LocalWire) {
+    if (from == kInvalidNode || to == kInvalidNode) {
+      throw JRouteError("PIP enumeration produced an unresolvable alias");
+    }
+    ++outOff_[from + 1];
+  });
+
+  for (NodeId i = 0; i < numNodes_; ++i) outOff_[i + 1] += outOff_[i];
+  const EdgeId numE = outOff_[numNodes_];
+  edges_.resize(numE);
+  edgeSrc_.resize(numE);
+
+  // Pass 2: fill, using a moving cursor per node.
+  std::vector<uint32_t> cursor(outOff_.begin(), outOff_.end() - 1);
+  forAllPips([&](NodeId from, NodeId to, RowCol rc, LocalWire f, LocalWire t) {
+    const uint32_t slot = cursor[from]++;
+    edges_[slot] = Edge{to, static_cast<uint16_t>(rc.row),
+                        static_cast<uint16_t>(rc.col), f, t};
+    edgeSrc_[slot] = from;
+  });
+
+  // Reverse index: edge ids grouped by target.
+  inOff_.assign(numNodes_ + 1, 0);
+  for (const Edge& e : edges_) ++inOff_[e.to + 1];
+  for (NodeId i = 0; i < numNodes_; ++i) inOff_[i + 1] += inOff_[i];
+  inIds_.resize(numE);
+  std::vector<uint32_t> rcursor(inOff_.begin(), inOff_.end() - 1);
+  for (EdgeId e = 0; e < numE; ++e) {
+    inIds_[rcursor[edges_[e].to]++] = e;
+  }
+}
+
+EdgeId Graph::findEdge(NodeId from, NodeId to, RowCol rc) const {
+  const auto o = out(from);
+  for (const Edge& e : o) {
+    if (e.to == to && e.tileRow == static_cast<uint16_t>(rc.row) &&
+        e.tileCol == static_cast<uint16_t>(rc.col)) {
+      return static_cast<EdgeId>(&e - edges_.data());
+    }
+  }
+  return kInvalidEdge;
+}
+
+EdgeId Graph::findEdge(NodeId from, NodeId to) const {
+  for (const Edge& e : out(from)) {
+    if (e.to == to) return static_cast<EdgeId>(&e - edges_.data());
+  }
+  return kInvalidEdge;
+}
+
+Dir Graph::travelDir(NodeId n, RowCol fromTile) const {
+  const NodeInfo inf = info(n);
+  switch (inf.kind) {
+    case NodeKind::SingleH:
+      return fromTile == inf.tile ? Dir::East : Dir::West;
+    case NodeKind::SingleV:
+      return fromTile == inf.tile ? Dir::North : Dir::South;
+    case NodeKind::HexE:
+      return fromTile == inf.tile ? Dir::East : Dir::West;
+    case NodeKind::HexW:
+      return fromTile == inf.tile ? Dir::West : Dir::East;
+    case NodeKind::HexN:
+      return fromTile == inf.tile ? Dir::North : Dir::South;
+    case NodeKind::HexS:
+      return fromTile == inf.tile ? Dir::South : Dir::North;
+    default:
+      throw ArgumentError("travelDir: node has no direction of travel");
+  }
+}
+
+TemplateValue Graph::templateValueOf(NodeId n, const Edge& e) const {
+  const NodeInfo inf = info(n);
+  const RowCol entry{static_cast<int16_t>(e.tileRow),
+                     static_cast<int16_t>(e.tileCol)};
+  switch (inf.kind) {
+    case NodeKind::Logic:
+      if (inf.local >= kOmuxBase && inf.local < kClbInBase) {
+        return TemplateValue::OUTMUX;
+      }
+      return TemplateValue::CLBIN;
+    case NodeKind::SingleH:
+    case NodeKind::SingleV:
+      return singleValue(travelDir(n, entry));
+    case NodeKind::HexE:
+    case NodeKind::HexW:
+    case NodeKind::HexN:
+    case NodeKind::HexS:
+      return hexValue(travelDir(n, entry));
+    case NodeKind::LongH:
+      return TemplateValue::LONGH;
+    case NodeKind::LongV:
+      return TemplateValue::LONGV;
+    case NodeKind::Gclk:
+    case NodeKind::GclkPad:
+      return TemplateValue::GCLKNET;
+    case NodeKind::IobIn:
+    case NodeKind::IobOut:
+      return TemplateValue::IOPAD;
+    case NodeKind::BramOut:
+    case NodeKind::BramIn:
+      return TemplateValue::BRAMPORT;
+  }
+  return TemplateValue::CLBIN;
+}
+
+std::string Graph::nodeName(NodeId n) const {
+  const NodeInfo inf = info(n);
+  const std::string loc = "R" + std::to_string(inf.tile.row) + "C" +
+                          std::to_string(inf.tile.col) + ".";
+  switch (inf.kind) {
+    case NodeKind::Logic:
+      return loc + wireName(inf.local);
+    case NodeKind::SingleH:
+      return loc + wireName(single(Dir::East, inf.track));
+    case NodeKind::SingleV:
+      return loc + wireName(single(Dir::North, inf.track));
+    case NodeKind::HexE:
+      return loc + wireName(hex(Dir::East, HexTap::Beg, inf.track));
+    case NodeKind::HexW:
+      return loc + wireName(hex(Dir::West, HexTap::Beg, inf.track));
+    case NodeKind::HexN:
+      return loc + wireName(hex(Dir::North, HexTap::Beg, inf.track));
+    case NodeKind::HexS:
+      return loc + wireName(hex(Dir::South, HexTap::Beg, inf.track));
+    case NodeKind::LongH:
+      return "R" + std::to_string(inf.tile.row) + "." +
+             wireName(longH(inf.track));
+    case NodeKind::LongV:
+      return "C" + std::to_string(inf.tile.col) + "." +
+             wireName(longV(inf.track));
+    case NodeKind::Gclk:
+      return wireName(gclk(inf.track));
+    case NodeKind::GclkPad:
+      return "GCLKPAD[" + std::to_string(inf.track) + "]";
+    case NodeKind::IobIn:
+      return loc + wireName(iobIn(inf.track));
+    case NodeKind::IobOut:
+      return loc + wireName(iobOut(inf.track));
+    case NodeKind::BramOut:
+      return loc + wireName(bramDo(inf.track));
+    case NodeKind::BramIn:
+      return loc + wireName(inf.track < kBramPinsPerTile
+                                ? bramDi(inf.track)
+                                : bramAd(inf.track - kBramPinsPerTile));
+  }
+  return "?";
+}
+
+DelayPs Graph::nodeDelay(NodeId n) const {
+  // Nominal Virtex-class interconnect delays; the timing model only needs
+  // relative magnitudes (single < hex < long) to be realistic.
+  switch (info(n).kind) {
+    case NodeKind::Logic: return 80;
+    case NodeKind::SingleH:
+    case NodeKind::SingleV: return 350;
+    case NodeKind::HexE:
+    case NodeKind::HexW:
+    case NodeKind::HexN:
+    case NodeKind::HexS: return 700;
+    case NodeKind::LongH:
+    case NodeKind::LongV: return 1200;
+    case NodeKind::Gclk: return 900;
+    case NodeKind::GclkPad: return 0;
+    case NodeKind::IobIn:
+    case NodeKind::IobOut: return 600;  // pad buffer
+    case NodeKind::BramOut:
+    case NodeKind::BramIn: return 800;  // block-RAM port register
+  }
+  return 0;
+}
+
+size_t Graph::memoryBytes() const {
+  return edges_.size() * sizeof(Edge) + edgeSrc_.size() * sizeof(NodeId) +
+         inIds_.size() * sizeof(EdgeId) +
+         (outOff_.size() + inOff_.size()) * sizeof(uint32_t);
+}
+
+}  // namespace xcvsim

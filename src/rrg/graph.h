@@ -1,0 +1,187 @@
+// The routing-resource graph (RRG): canonical physical wire segments and
+// the programmable interconnect points (PIPs) between them.
+//
+// Every physical segment is ONE node, however many tiles it is visible
+// from: the single track between (5,7) and (5,8) is a single node that the
+// per-tile namespace addresses as SingleEast[5]@(5,7) and
+// SingleWest[5]@(5,8). Edges are directed PIPs; a bidirectional track
+// simply has incoming edges at both of its end GRMs. Each edge remembers
+// the tile whose switch box implements it, which (a) gives the bitstream a
+// frame address and (b) lets the template engine compute the direction of
+// travel.
+//
+// Node id layout (contiguous ranges, O(1) in both directions):
+//   logic pins        tile-major; local ids 0..41 coincide with arch ids
+//   horiz singles     (row, chanCol in [0,W-1), track)
+//   vert singles      (chanRow in [0,H-1), col, track)
+//   hexes E/W/N/S     (row/col, origin along axis, track); not clamped at
+//                     device edges, so origins keep the full 6-tile span
+//   long lines        (row, track) and (col, track)
+//   global nets       4 chip-wide nodes + 4 pad driver nodes
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/arch_db.h"
+#include "arch/template_value.h"
+#include "common/types.h"
+
+namespace xcvsim {
+
+/// Physical classification of an RRG node.
+enum class NodeKind : uint8_t {
+  Logic,    // slice output, OMUX line, or CLB input pin of one tile
+  SingleH,  // horizontal single-length track
+  SingleV,  // vertical single-length track
+  HexE,     // hex with origin driving east
+  HexW,
+  HexN,
+  HexS,
+  LongH,    // horizontal long line (full row)
+  LongV,    // vertical long line (full column)
+  Gclk,     // dedicated global clock net (chip-wide)
+  GclkPad,  // driver pad of one global clock net
+  IobIn,    // I/O block pad input buffer (drives the fabric)
+  IobOut,   // I/O block pad output buffer (driven by the fabric)
+  BramOut,  // block-RAM data output (drives the fabric)
+  BramIn,   // block-RAM data/address input (driven by the fabric)
+};
+
+/// Decoded identity of a node.
+struct NodeInfo {
+  NodeKind kind;
+  RowCol tile;       // logic: owning tile; segments: origin/anchor tile
+  int track = 0;     // track / pin index
+  LocalWire local = kInvalidLocalWire;  // logic nodes: the arch local id
+};
+
+/// One directed PIP.
+struct Edge {
+  NodeId to;
+  uint16_t tileRow;   // tile whose switch box implements this PIP
+  uint16_t tileCol;
+  LocalWire fromLocal;  // alias of the source node at that tile
+  LocalWire toLocal;    // alias of the target node at that tile
+};
+
+class Graph {
+ public:
+  /// Build the full RRG for a device. The ArchDb is the only source of PIP
+  /// existence, so graph and description cannot diverge.
+  explicit Graph(const DeviceSpec& dev);
+
+  const DeviceSpec& device() const { return dev_; }
+  const ArchDb& arch() const { return arch_; }
+
+  NodeId numNodes() const { return numNodes_; }
+  EdgeId numEdges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// Resolve a (tile, local wire) address to its canonical node, or
+  /// kInvalidNode when the name does not exist at that tile.
+  NodeId nodeAt(RowCol rc, LocalWire w) const;
+
+  /// Decode a node id.
+  NodeInfo info(NodeId n) const;
+
+  /// Local alias of node `n` at tile `rc`, or kInvalidLocalWire when the
+  /// node is not addressable there.
+  LocalWire aliasAt(NodeId n, RowCol rc) const;
+
+  /// Tiles at which node `n` is addressable (tap points). Logic nodes have
+  /// one; singles two; hexes three; long lines every access tile; globals
+  /// every tile (reported as the empty span, query aliasAt directly).
+  std::vector<RowCol> tapsOf(NodeId n) const;
+
+  /// Representative tile for distance heuristics (segment midpoint).
+  RowCol positionOf(NodeId n) const;
+
+  /// Outgoing PIPs of `n`.
+  std::span<const Edge> out(NodeId n) const {
+    return {edges_.data() + outOff_[n], outOff_[n + 1] - outOff_[n]};
+  }
+
+  /// Incoming PIP ids of `n` (indices into the edge array).
+  std::span<const EdgeId> in(NodeId n) const {
+    return {inIds_.data() + inOff_[n], inOff_[n + 1] - inOff_[n]};
+  }
+
+  /// The edge record for an edge id.
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Source node of an edge (recovered from the reverse index).
+  NodeId edgeSource(EdgeId e) const { return edgeSrc_[e]; }
+
+  /// Find an edge from -> to implemented at tile rc; kInvalidEdge if none.
+  EdgeId findEdge(NodeId from, NodeId to, RowCol rc) const;
+
+  /// Find any edge from -> to; kInvalidEdge if none.
+  EdgeId findEdge(NodeId from, NodeId to) const;
+
+  /// Edge id of the PIP record `e` within out(edgeSource).
+  EdgeId edgeIdOf(NodeId from, const Edge& e) const {
+    return static_cast<EdgeId>(&e - edges_.data() + 0 * from);
+  }
+
+  /// Direction a signal travels on segment `n` when driven from tile
+  /// `fromTile`. Only meaningful for singles and hexes.
+  Dir travelDir(NodeId n, RowCol fromTile) const;
+
+  /// Template value of node `n` when entered through edge `e` (the
+  /// paper's direction-x-resource classification, direction of travel
+  /// resolved for bidirectional resources).
+  TemplateValue templateValueOf(NodeId n, const Edge& e) const;
+
+  /// Debug name, e.g. "R5C7.SingleEast[5]" (canonical alias).
+  std::string nodeName(NodeId n) const;
+
+  /// Intrinsic signal delay of a node (fabric timing model).
+  DelayPs nodeDelay(NodeId n) const;
+
+  /// Approximate memory footprint of the graph in bytes.
+  size_t memoryBytes() const;
+
+  // Range bases, exposed for white-box tests.
+  NodeId logicBase() const { return 0; }
+  NodeId hSingleBase() const { return hSingleBase_; }
+  NodeId vSingleBase() const { return vSingleBase_; }
+  NodeId gclkBase() const { return gclkBase_; }
+  NodeId gclkPadBase() const { return gclkPadBase_; }
+
+  /// The pad node driving global net k.
+  NodeId gclkPad(int k) const { return gclkPadBase_ + static_cast<NodeId>(k); }
+  /// The chip-wide global net node k.
+  NodeId gclkNet(int k) const { return gclkBase_ + static_cast<NodeId>(k); }
+
+  /// Perimeter index of a boundary tile (0 .. numBoundaryTiles), used to
+  /// number the I/O ring; -1 for interior tiles.
+  int perimeterIndex(RowCol rc) const;
+  /// Number of tiles carrying I/O blocks.
+  int numBoundaryTiles() const;
+
+ private:
+  void assignRanges();
+  void buildEdges();
+
+  DeviceSpec dev_;
+  ArchDb arch_;
+
+  // Range bases (see header comment).
+  NodeId hSingleBase_ = 0, vSingleBase_ = 0;
+  NodeId hexEBase_ = 0, hexWBase_ = 0, hexNBase_ = 0, hexSBase_ = 0;
+  NodeId longHBase_ = 0, longVBase_ = 0;
+  NodeId gclkBase_ = 0, gclkPadBase_ = 0;
+  NodeId iobInBase_ = 0, iobOutBase_ = 0;
+  NodeId bramOutBase_ = 0, bramInBase_ = 0;
+  NodeId numNodes_ = 0;
+
+  std::vector<Edge> edges_;       // grouped by source node (CSR payload)
+  std::vector<uint32_t> outOff_;  // numNodes_+1 offsets into edges_
+  std::vector<EdgeId> inIds_;     // edge ids grouped by target node
+  std::vector<uint32_t> inOff_;   // numNodes_+1 offsets into inIds_
+  std::vector<NodeId> edgeSrc_;   // source node per edge id
+};
+
+}  // namespace xcvsim

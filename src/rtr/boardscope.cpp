@@ -1,0 +1,74 @@
+#include "rtr/boardscope.h"
+
+#include <map>
+
+#include "fabric/timing.h"
+#include "fabric/trace.h"
+
+namespace jroute {
+
+using xcvsim::Graph;
+using xcvsim::NodeId;
+using xcvsim::RowCol;
+
+std::string renderUsageMap(const Fabric& fabric) {
+  const Graph& g = fabric.graph();
+  const auto& dev = g.device();
+  std::vector<int> counts(static_cast<size_t>(dev.tiles()), 0);
+  for (NodeId n = 0; n < g.numNodes(); ++n) {
+    if (!fabric.isUsed(n)) continue;
+    const RowCol rc = g.positionOf(n);
+    if (dev.contains(rc)) {
+      ++counts[static_cast<size_t>(rc.row * dev.cols + rc.col)];
+    }
+  }
+  std::string out;
+  out.reserve(static_cast<size_t>((dev.cols + 1) * dev.rows));
+  // Row 0 is the south edge; print north side first like a floorplan.
+  for (int r = dev.rows - 1; r >= 0; --r) {
+    for (int c = 0; c < dev.cols; ++c) {
+      const int n = counts[static_cast<size_t>(r * dev.cols + c)];
+      out += n == 0 ? '.' : (n <= 9 ? static_cast<char>('0' + n) : '#');
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string renderNet(const Router& router, const EndPoint& source) {
+  const Fabric& fabric = router.fabric();
+  const Graph& g = fabric.graph();
+  const NetTrace t = router.trace(source);
+  std::string out = "net from " + g.nodeName(t.source) + " (" +
+                    std::to_string(t.hops.size()) + " PIPs, " +
+                    std::to_string(t.sinks.size()) + " sinks)\n";
+  for (const auto& hop : t.hops) {
+    out += "  " + g.nodeName(hop.from) + " -> " + g.nodeName(hop.to) + "\n";
+  }
+  const xcvsim::NetTiming timing = computeNetTiming(fabric, t.source);
+  for (const auto& sd : timing.sinks) {
+    out += "  sink " + g.nodeName(sd.sink) + " @ " +
+           std::to_string(sd.delay) + " ps\n";
+  }
+  out += "  skew " + std::to_string(timing.skew()) + " ps\n";
+  return out;
+}
+
+std::string netSummary(const Fabric& fabric) {
+  const Graph& g = fabric.graph();
+  // Collect per-net segment counts by scanning node ownership.
+  std::map<xcvsim::NetId, size_t> sizes;
+  for (NodeId n = 0; n < g.numNodes(); ++n) {
+    if (fabric.isUsed(n)) ++sizes[fabric.netOf(n)];
+  }
+  std::string out;
+  for (const auto& [net, size] : sizes) {
+    const NodeId src = fabric.netSource(net);
+    out += fabric.netName(net) + ": " + std::to_string(size) +
+           " segments, " +
+           std::to_string(netSinks(fabric, src).size()) + " sinks\n";
+  }
+  return out;
+}
+
+}  // namespace jroute

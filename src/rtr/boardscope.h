@@ -1,0 +1,25 @@
+// BoardScope-equivalent debug views (section 3.5): the paper's trace()
+// and reverseTrace() exist so that "debugging tools, such as BoardScope,
+// can use this to view each sink" — this module is that consumer, built
+// entirely on the public trace API and the fabric timing model.
+#pragma once
+
+#include <string>
+
+#include "core/router.h"
+
+namespace jroute {
+
+/// ASCII tile map of routing usage: '.' for idle tiles, digits/'#' scaled
+/// by the number of used segments anchored at each tile.
+std::string renderUsageMap(const Fabric& fabric);
+
+/// Human-readable dump of the net driven from `source`: every hop with
+/// canonical wire names, each sink with its accumulated delay, and the
+/// net's skew.
+std::string renderNet(const Router& router, const EndPoint& source);
+
+/// One-line-per-net summary of all live nets (name, segments, sinks).
+std::string netSummary(const Fabric& fabric);
+
+}  // namespace jroute

@@ -1,0 +1,63 @@
+#include "rtr/manager.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace jroute {
+
+void RtrManager::install(RtpCore& core, RowCol origin) {
+  core.place(*router_, origin);
+  if (std::find(cores_.begin(), cores_.end(), &core) == cores_.end()) {
+    cores_.push_back(&core);
+  }
+}
+
+void RtrManager::remove(RtpCore& core) {
+  core.remove(*router_);
+  std::erase(cores_, &core);
+}
+
+void RtrManager::connect(std::span<Port* const> sources,
+                         std::span<Port* const> sinks) {
+  if (sources.size() != sinks.size()) {
+    throw xcvsim::ArgumentError("connect: port group width mismatch");
+  }
+  std::vector<EndPoint> src, dst;
+  src.reserve(sources.size());
+  dst.reserve(sinks.size());
+  for (Port* p : sources) src.push_back(EndPoint(*p));
+  for (Port* p : sinks) dst.push_back(EndPoint(*p));
+  router_->route(std::span<const EndPoint>(src),
+                 std::span<const EndPoint>(dst));
+}
+
+void RtrManager::connect(const RtpCore& from, std::string_view fromGroup,
+                         const RtpCore& to, std::string_view toGroup) {
+  const auto src = from.getPorts(fromGroup);
+  const auto dst = to.getPorts(toGroup);
+  connect(src, dst);
+}
+
+void RtrManager::reconnect(RtpCore& core) {
+  for (const std::string& g : core.groups()) {
+    for (Port* p : core.getPorts(g)) {
+      router_->rerouteConnectionsOf(*p);
+    }
+  }
+}
+
+void RtrManager::reconfigure(RtpCore& core) {
+  const RowCol origin = core.origin();
+  core.remove(*router_);
+  core.place(*router_, origin);
+  reconnect(core);
+}
+
+void RtrManager::relocate(RtpCore& core, RowCol newOrigin) {
+  core.remove(*router_);
+  core.place(*router_, newOrigin);
+  reconnect(core);
+}
+
+}  // namespace jroute

@@ -1,0 +1,53 @@
+// Run-time reconfiguration manager: the system-level choreography of
+// section 3.3 — install cores, wire their ports, and later replace,
+// reparameterize, or relocate them with all port connections restored
+// from the router's memory:
+//
+//   "A core may be replaced with the same type of core having different
+//    parameters. In this case the user can unroute the core then replace
+//    it. The port connections are removed, but are remembered. If the
+//    ports are reused, then they will be automatically connected to the
+//    new core. ... Core relocation is handled in a similar way."
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "cores/rtp_core.h"
+
+namespace jroute {
+
+class RtrManager {
+ public:
+  explicit RtrManager(Router& router) : router_(&router) {}
+
+  Router& router() { return *router_; }
+
+  /// Place a core and start tracking it.
+  void install(RtpCore& core, RowCol origin);
+
+  /// Remove a core from the fabric (port connections stay remembered).
+  void remove(RtpCore& core);
+
+  /// Connect two port groups as a bus (sources[i] -> sinks[i]).
+  void connect(std::span<Port* const> sources, std::span<Port* const> sinks);
+  void connect(const RtpCore& from, std::string_view fromGroup,
+               const RtpCore& to, std::string_view toGroup);
+
+  /// Rebuild a core in place (after a parameter change that altered its
+  /// structure) and reconnect every remembered port connection.
+  void reconfigure(RtpCore& core);
+
+  /// Move a core to a new origin and reconnect its ports.
+  void relocate(RtpCore& core, RowCol newOrigin);
+
+  const std::vector<RtpCore*>& installed() const { return cores_; }
+
+ private:
+  void reconnect(RtpCore& core);
+
+  Router* router_;
+  std::vector<RtpCore*> cores_;
+};
+
+}  // namespace jroute

@@ -1,0 +1,148 @@
+#include "rtr/netlist.h"
+
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+#include "fabric/trace.h"
+
+namespace jroute {
+
+using xcvsim::ArgumentError;
+using xcvsim::Edge;
+using xcvsim::EdgeId;
+using xcvsim::Graph;
+using xcvsim::kInvalidLocalWire;
+using xcvsim::kInvalidNode;
+using xcvsim::NetId;
+using xcvsim::NodeId;
+using xcvsim::RowCol;
+
+std::string exportNetlist(const Fabric& fabric) {
+  const Graph& g = fabric.graph();
+  std::ostringstream os;
+
+  // Enumerate live nets deterministically by scanning node ownership for
+  // sources (a source is a used node with no driver).
+  std::map<NetId, NodeId> sources;
+  for (NodeId n = 0; n < g.numNodes(); ++n) {
+    if (fabric.isUsed(n) && fabric.driverOf(n) == xcvsim::kInvalidEdge) {
+      sources.emplace(fabric.netOf(n), n);
+    }
+  }
+
+  for (const auto& [net, src] : sources) {
+    const auto srcInfo = g.info(src);
+    if (srcInfo.kind == xcvsim::NodeKind::GclkPad) {
+      // Global clock pads have no (row, col, wire) address.
+      os << "netpad " << fabric.netName(net) << " " << srcInfo.track
+         << "  # " << g.nodeName(src) << "\n";
+    } else {
+      const xcvsim::LocalWire srcWire = g.aliasAt(src, srcInfo.tile);
+      os << "net " << fabric.netName(net) << " " << srcInfo.tile.row << " "
+         << srcInfo.tile.col << " " << srcWire << "  # "
+         << g.nodeName(src) << "\n";
+    }
+    for (const xcvsim::TraceHop& hop : traceForward(fabric, src)) {
+      const Edge& e = g.edge(hop.edge);
+      const RowCol rc{static_cast<int16_t>(e.tileRow),
+                      static_cast<int16_t>(e.tileCol)};
+      if (e.fromLocal == kInvalidLocalWire) {
+        // Global pad driver: re-encode as a pip on the net's pad.
+        os << "pad " << g.info(hop.to).track << "\n";
+      } else if (g.nodeAt(rc, e.toLocal) != e.to) {
+        // Direct connect: destination pin lives in the neighbour tile.
+        const auto ti = g.info(e.to);
+        os << "pipx " << rc.row << " " << rc.col << " " << e.fromLocal
+           << " " << ti.tile.row << " " << ti.tile.col << " " << e.toLocal
+           << "  # " << g.nodeName(hop.from) << " -> "
+           << g.nodeName(hop.to) << "\n";
+      } else {
+        os << "pip " << rc.row << " " << rc.col << " " << e.fromLocal
+           << " " << e.toLocal << "  # " << g.nodeName(hop.from) << " -> "
+           << g.nodeName(hop.to) << "\n";
+      }
+    }
+    os << "end\n";
+  }
+  return os.str();
+}
+
+int importNetlist(Fabric& fabric, std::istream& is) {
+  const Graph& g = fabric.graph();
+  int netsCreated = 0;
+  NetId current = xcvsim::kInvalidNet;
+  std::string line;
+  int lineNo = 0;
+
+  const auto fail = [&](const std::string& what) {
+    throw ArgumentError("netlist line " + std::to_string(lineNo) + ": " +
+                        what);
+  };
+
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string cmd;
+    if (!(ls >> cmd)) continue;  // blank line
+
+    if (cmd == "net") {
+      std::string name;
+      int row, col, wire;
+      if (!(ls >> name >> row >> col >> wire)) fail("malformed net");
+      const NodeId src = g.nodeAt(
+          {static_cast<int16_t>(row), static_cast<int16_t>(col)},
+          static_cast<xcvsim::LocalWire>(wire));
+      if (src == kInvalidNode) fail("bad source pin");
+      current = fabric.createNet(src, name);
+      ++netsCreated;
+    } else if (cmd == "netpad") {
+      std::string name;
+      int k;
+      if (!(ls >> name >> k) || k < 0 || k >= xcvsim::kGlobalNets) {
+        fail("malformed netpad");
+      }
+      current = fabric.createNet(g.gclkPad(k), name);
+      ++netsCreated;
+    } else if (cmd == "pip" || cmd == "pipx") {
+      if (current == xcvsim::kInvalidNet) fail("pip outside a net");
+      int row, col, from, row2, col2, to;
+      if (cmd == "pip") {
+        if (!(ls >> row >> col >> from >> to)) fail("malformed pip");
+        row2 = row;
+        col2 = col;
+      } else {
+        if (!(ls >> row >> col >> from >> row2 >> col2 >> to)) {
+          fail("malformed pipx");
+        }
+      }
+      const RowCol rc{static_cast<int16_t>(row), static_cast<int16_t>(col)};
+      const NodeId u =
+          g.nodeAt(rc, static_cast<xcvsim::LocalWire>(from));
+      const NodeId v = g.nodeAt(
+          {static_cast<int16_t>(row2), static_cast<int16_t>(col2)},
+          static_cast<xcvsim::LocalWire>(to));
+      if (u == kInvalidNode || v == kInvalidNode) fail("bad pip wires");
+      const EdgeId e = g.findEdge(u, v, rc);
+      if (e == xcvsim::kInvalidEdge) fail("no such PIP in the fabric");
+      fabric.turnOn(e, current);
+    } else if (cmd == "pad") {
+      if (current == xcvsim::kInvalidNet) fail("pad outside a net");
+      int k;
+      if (!(ls >> k)) fail("malformed pad");
+      const EdgeId e = g.findEdge(g.gclkPad(k), g.gclkNet(k));
+      if (e == xcvsim::kInvalidEdge) fail("bad pad index");
+      fabric.turnOn(e, current);
+    } else if (cmd == "end") {
+      current = xcvsim::kInvalidNet;
+    } else {
+      fail("unknown directive '" + cmd + "'");
+    }
+  }
+  return netsCreated;
+}
+
+}  // namespace jroute

@@ -1,0 +1,74 @@
+#include "rtr/report.h"
+
+#include <cstdio>
+
+namespace jroute {
+
+using xcvsim::Graph;
+using xcvsim::NodeId;
+using xcvsim::NodeKind;
+
+UtilizationReport computeUtilization(const xcvsim::Fabric& fabric) {
+  const Graph& g = fabric.graph();
+  UtilizationReport rep;
+  rep.perColumn.assign(static_cast<size_t>(g.device().cols), 0);
+
+  for (NodeId n = 0; n < g.numNodes(); ++n) {
+    const auto inf = g.info(n);
+    ResourceUsage* bucket = nullptr;
+    switch (inf.kind) {
+      case NodeKind::SingleH:
+      case NodeKind::SingleV: bucket = &rep.singles; break;
+      case NodeKind::HexE:
+      case NodeKind::HexW:
+      case NodeKind::HexN:
+      case NodeKind::HexS: bucket = &rep.hexes; break;
+      case NodeKind::LongH:
+      case NodeKind::LongV: bucket = &rep.longs; break;
+      case NodeKind::Logic: bucket = &rep.logic; break;
+      case NodeKind::Gclk:
+      case NodeKind::GclkPad: bucket = &rep.globals; break;
+      case NodeKind::IobIn:
+      case NodeKind::IobOut: bucket = &rep.iobs; break;
+      case NodeKind::BramOut:
+      case NodeKind::BramIn: bucket = &rep.brams; break;
+    }
+    if (!bucket) continue;
+    ++bucket->total;
+    if (fabric.isUsed(n)) {
+      ++bucket->used;
+      const auto pos = g.positionOf(n);
+      if (g.device().contains(pos)) {
+        ++rep.perColumn[static_cast<size_t>(pos.col)];
+      }
+    }
+  }
+  return rep;
+}
+
+std::string UtilizationReport::toString() const {
+  char buf[128];
+  std::string out = "resource utilization\n";
+  const auto line = [&](const char* name, const ResourceUsage& u) {
+    std::snprintf(buf, sizeof(buf), "  %-8s %8zu / %8zu  (%5.2f%%)\n", name,
+                  u.used, u.total, u.percent());
+    out += buf;
+  };
+  line("singles", singles);
+  line("hexes", hexes);
+  line("longs", longs);
+  line("logic", logic);
+  line("globals", globals);
+  line("iobs", iobs);
+  line("brams", brams);
+  out += "  per-column:";
+  for (size_t c = 0; c < perColumn.size(); ++c) {
+    if (c % 8 == 0) out += "\n   ";
+    std::snprintf(buf, sizeof(buf), " %5zu", perColumn[c]);
+    out += buf;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace jroute

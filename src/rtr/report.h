@@ -1,0 +1,41 @@
+// Fabric utilization reporting: per-resource-class usage and a per-column
+// congestion profile — the dashboard a run-time system watches to decide
+// where the next core still fits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.h"
+
+namespace jroute {
+
+struct ResourceUsage {
+  size_t total = 0;
+  size_t used = 0;
+
+  double percent() const {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(used) /
+                            static_cast<double>(total);
+  }
+};
+
+struct UtilizationReport {
+  ResourceUsage singles;
+  ResourceUsage hexes;
+  ResourceUsage longs;
+  ResourceUsage logic;    // slice outputs, OMUX lines, CLB inputs
+  ResourceUsage globals;  // GCLK nets
+  ResourceUsage iobs;     // pad buffers
+  ResourceUsage brams;    // block-RAM port pins
+  /// Used-segment count per device column (congestion profile).
+  std::vector<size_t> perColumn;
+
+  /// Render as an aligned text table.
+  std::string toString() const;
+};
+
+UtilizationReport computeUtilization(const xcvsim::Fabric& fabric);
+
+}  // namespace jroute

@@ -1,0 +1,187 @@
+#include "workload/generators.h"
+
+#include <unordered_set>
+
+#include "arch/patterns.h"
+#include "arch/wires.h"
+#include "common/error.h"
+
+namespace workload {
+
+using xcvsim::clbIn;
+using xcvsim::isClockPin;
+using xcvsim::kClbInputs;
+using xcvsim::kSliceOutputs;
+using xcvsim::LocalWire;
+using xcvsim::sliceOut;
+
+namespace {
+
+uint64_t pinKey(const Pin& p) {
+  return (static_cast<uint64_t>(static_cast<uint16_t>(p.rc.row)) << 32) |
+         (static_cast<uint64_t>(static_cast<uint16_t>(p.rc.col)) << 16) |
+         p.wire;
+}
+
+/// Pick a random slice-output pin not yet in `used`.
+Pin pickSource(const DeviceSpec& dev, Rng& rng,
+               std::unordered_set<uint64_t>& used) {
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const Pin p(rng.intIn(0, dev.rows - 1), rng.intIn(0, dev.cols - 1),
+                sliceOut(rng.intIn(0, kSliceOutputs - 1)));
+    if (used.insert(pinKey(p)).second) return p;
+  }
+  throw xcvsim::JRouteError("workload: device exhausted picking sources");
+}
+
+/// Pick a random non-clock CLB input pin at `rc` not yet in `used`.
+Pin pickSinkAt(RowCol rc, Rng& rng, std::unordered_set<uint64_t>& used) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const LocalWire w = clbIn(rng.intIn(0, kClbInputs - 1));
+    if (isClockPin(w)) continue;
+    const Pin p(rc, w);
+    if (used.insert(pinKey(p)).second) return p;
+  }
+  return Pin(rc, xcvsim::kInvalidLocalWire);  // tile full
+}
+
+}  // namespace
+
+namespace {
+
+std::vector<P2P> makeP2PInto(const DeviceSpec& dev, int count, int minDist,
+                             int maxDist, Rng& rng,
+                             std::unordered_set<uint64_t>& used) {
+  std::vector<P2P> out;
+  out.reserve(static_cast<size_t>(count));
+  int guard = 0;
+  while (static_cast<int>(out.size()) < count) {
+    if (++guard > count * 1000) {
+      throw xcvsim::JRouteError("workload: cannot satisfy distance bounds");
+    }
+    const Pin src = pickSource(dev, rng, used);
+    const RowCol rc{static_cast<int16_t>(rng.intIn(0, dev.rows - 1)),
+                    static_cast<int16_t>(rng.intIn(0, dev.cols - 1))};
+    const int d = manhattan(src.rc, rc);
+    if (d < minDist || d > maxDist) {
+      used.erase(pinKey(src));
+      continue;
+    }
+    const Pin sink = pickSinkAt(rc, rng, used);
+    if (sink.wire == xcvsim::kInvalidLocalWire) {
+      used.erase(pinKey(src));
+      continue;
+    }
+    out.push_back({src, sink});
+  }
+  return out;
+}
+
+std::vector<FanoutNet> makeFanoutInto(const DeviceSpec& dev, int count,
+                                      int fanout, int bboxRadius, Rng& rng,
+                                      std::unordered_set<uint64_t>& used) {
+  std::vector<FanoutNet> out;
+  out.reserve(static_cast<size_t>(count));
+  while (static_cast<int>(out.size()) < count) {
+    FanoutNet net;
+    net.src = pickSource(dev, rng, used);
+    int guard = 0;
+    while (static_cast<int>(net.sinks.size()) < fanout) {
+      if (++guard > fanout * 1000) {
+        throw xcvsim::JRouteError("workload: cannot place fanout sinks");
+      }
+      const int r = net.src.rc.row + rng.intIn(-bboxRadius, bboxRadius);
+      const int c = net.src.rc.col + rng.intIn(-bboxRadius, bboxRadius);
+      if (r < 0 || r >= dev.rows || c < 0 || c >= dev.cols) continue;
+      const Pin sink = pickSinkAt(
+          {static_cast<int16_t>(r), static_cast<int16_t>(c)}, rng, used);
+      if (sink.wire != xcvsim::kInvalidLocalWire) net.sinks.push_back(sink);
+    }
+    out.push_back(std::move(net));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<P2P> makeP2P(const DeviceSpec& dev, int count, int minDist,
+                         int maxDist, uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<uint64_t> used;
+  return makeP2PInto(dev, count, minDist, maxDist, rng, used);
+}
+
+std::vector<FanoutNet> makeFanout(const DeviceSpec& dev, int count,
+                                  int fanout, int bboxRadius,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<uint64_t> used;
+  return makeFanoutInto(dev, count, fanout, bboxRadius, rng, used);
+}
+
+Mixed makeMixed(const DeviceSpec& dev, int p2pCount, int fanoutCount,
+                int fanout, int maxDist, uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<uint64_t> used;
+  Mixed mixed;
+  mixed.p2p = makeP2PInto(dev, p2pCount, 2, maxDist, rng, used);
+  mixed.fanout =
+      makeFanoutInto(dev, fanoutCount, fanout, maxDist / 3 + 2, rng, used);
+  return mixed;
+}
+
+Bus makeBus(const DeviceSpec& dev, int width, int span, uint64_t seed) {
+  Rng rng(seed);
+  // Two vertical strips of CLBs, `span` columns apart; bit i uses slice
+  // output (i % 8) of tile row0 + i/8 — dense, regular, pipeline-like.
+  const int tilesNeeded = (width + kSliceOutputs - 1) / kSliceOutputs;
+  if (tilesNeeded > dev.rows || span >= dev.cols) {
+    throw xcvsim::ArgumentError("makeBus: bus does not fit the device");
+  }
+  const int row0 = rng.intIn(0, dev.rows - tilesNeeded);
+  const int colA = rng.intIn(0, dev.cols - 1 - span);
+  const int colB = colA + span;
+  Bus bus;
+  for (int i = 0; i < width; ++i) {
+    const int r = row0 + i / kSliceOutputs;
+    bus.srcs.emplace_back(r, colA, sliceOut(i % kSliceOutputs));
+    // Sinks use the non-clock input with the same index for regularity.
+    bus.sinks.emplace_back(r, colB,
+                           clbIn(xcvsim::nonClockPin(i % kSliceOutputs)));
+  }
+  return bus;
+}
+
+namespace {
+
+baseline::PfNet toPfNet(const xcvsim::Graph& g, const Pin& src,
+                        std::span<const Pin> sinks) {
+  baseline::PfNet net;
+  net.source = g.nodeAt(src.rc, src.wire);
+  for (const Pin& p : sinks) net.sinks.push_back(g.nodeAt(p.rc, p.wire));
+  return net;
+}
+
+}  // namespace
+
+std::vector<baseline::PfNet> toPfNets(const xcvsim::Graph& g,
+                                      std::span<const P2P> nets) {
+  std::vector<baseline::PfNet> out;
+  out.reserve(nets.size());
+  for (const P2P& n : nets) {
+    out.push_back(toPfNet(g, n.src, std::span<const Pin>(&n.sink, 1)));
+  }
+  return out;
+}
+
+std::vector<baseline::PfNet> toPfNets(const xcvsim::Graph& g,
+                                      std::span<const FanoutNet> nets) {
+  std::vector<baseline::PfNet> out;
+  out.reserve(nets.size());
+  for (const FanoutNet& n : nets) {
+    out.push_back(toPfNet(g, n.src, n.sinks));
+  }
+  return out;
+}
+
+}  // namespace workload

@@ -1,0 +1,75 @@
+// Synthetic workload generation for tests and benchmarks.
+//
+// The paper has no public benchmark set (RTR designs were hand-built JBits
+// programs), so the experiments use seeded generators producing the
+// connection patterns its prose describes: random point-to-point nets with
+// bounded displacement, fanout nets, aligned buses between pipeline
+// stages, and whole dataflow pipelines. All generators are deterministic
+// for a given seed.
+#pragma once
+
+#include <vector>
+
+#include "arch/device.h"
+#include "baseline/pathfinder.h"
+#include "common/rng.h"
+#include "core/endpoint.h"
+#include "rrg/graph.h"
+
+namespace workload {
+
+using jroute::Pin;
+using xcvsim::DeviceSpec;
+using xcvsim::Rng;
+using xcvsim::RowCol;
+
+/// A point-to-point connection request.
+struct P2P {
+  Pin src;
+  Pin sink;
+};
+
+/// A fanout net: one source, several sinks.
+struct FanoutNet {
+  Pin src;
+  std::vector<Pin> sinks;
+};
+
+/// A bus: sources[i] connects to sinks[i].
+struct Bus {
+  std::vector<Pin> srcs;
+  std::vector<Pin> sinks;
+};
+
+/// `count` random point-to-point nets whose Manhattan displacement lies in
+/// [minDist, maxDist]. Sources are distinct slice outputs, sinks distinct
+/// CLB input pins; no pin is used twice across the workload.
+std::vector<P2P> makeP2P(const DeviceSpec& dev, int count, int minDist,
+                         int maxDist, uint64_t seed);
+
+/// `count` fanout nets of `fanout` sinks each, sinks within a bounding box
+/// of `bboxRadius` tiles around the source.
+std::vector<FanoutNet> makeFanout(const DeviceSpec& dev, int count,
+                                  int fanout, int bboxRadius, uint64_t seed);
+
+/// A bus of `width` bits between two vertical strips `span` columns apart,
+/// one bit per slice output going down the strip.
+Bus makeBus(const DeviceSpec& dev, int width, int span, uint64_t seed);
+
+/// A mixed design-like workload sharing ONE pin-exclusion set, so no two
+/// nets ever claim the same pin (two generator calls with separate seeds
+/// can collide, which would make the workload inherently unroutable).
+struct Mixed {
+  std::vector<P2P> p2p;
+  std::vector<FanoutNet> fanout;
+};
+Mixed makeMixed(const DeviceSpec& dev, int p2pCount, int fanoutCount,
+                int fanout, int maxDist, uint64_t seed);
+
+/// Convert to the baseline router's net representation.
+std::vector<baseline::PfNet> toPfNets(const xcvsim::Graph& g,
+                                      std::span<const P2P> nets);
+std::vector<baseline::PfNet> toPfNets(const xcvsim::Graph& g,
+                                      std::span<const FanoutNet> nets);
+
+}  // namespace workload

@@ -1,0 +1,95 @@
+// Tests for the PathFinder negotiated-congestion baseline.
+#include <gtest/gtest.h>
+
+#include "arch/patterns.h"
+#include "baseline/pathfinder.h"
+#include "workload/generators.h"
+
+namespace baseline {
+namespace {
+
+using workload::makeFanout;
+using workload::makeP2P;
+using workload::toPfNets;
+
+class PathFinderTest : public ::testing::Test {
+ protected:
+  static const Graph& graph() {
+    static Graph g{xcvsim::xcv50()};
+    return g;
+  }
+};
+
+TEST_F(PathFinderTest, RoutesSingleNet) {
+  PathFinderRouter pf(graph());
+  const auto nets =
+      toPfNets(graph(), makeP2P(graph().device(), 1, 3, 10, /*seed=*/1));
+  const auto res = pf.routeAll(nets);
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.iterations, 1);  // no congestion with one net
+  EXPECT_FALSE(pf.netEdges(0).empty());
+  EXPECT_GT(res.wirelength, 2u);
+}
+
+TEST_F(PathFinderTest, TreeIsConnectedChain) {
+  PathFinderRouter pf(graph());
+  const auto nets =
+      toPfNets(graph(), makeP2P(graph().device(), 1, 5, 8, /*seed=*/7));
+  ASSERT_TRUE(pf.routeAll(nets).success);
+  // The edge chain walks from the source to the sink.
+  NodeId cur = nets[0].source;
+  for (EdgeId e : pf.netEdges(0)) {
+    EXPECT_EQ(graph().edgeSource(e), cur);
+    cur = graph().edge(e).to;
+  }
+  EXPECT_EQ(cur, nets[0].sinks[0]);
+}
+
+TEST_F(PathFinderTest, ResolvesDeliberateConflict) {
+  // Many nets from the same tile to the same destination tile compete for
+  // the same channels; negotiation must spread them across tracks.
+  std::vector<PfNet> nets;
+  for (int o = 0; o < 8; ++o) {
+    PfNet n;
+    n.source = graph().nodeAt({8, 8}, xcvsim::sliceOut(o));
+    n.sinks.push_back(
+        graph().nodeAt({8, 12}, xcvsim::clbIn(xcvsim::nonClockPin(o))));
+    nets.push_back(n);
+  }
+  PathFinderRouter pf(graph());
+  const auto res = pf.routeAll(nets);
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.overusedNodes, 0u);
+  // Final trees are mutually disjoint.
+  std::vector<uint8_t> used(graph().numNodes(), 0);
+  for (size_t i = 0; i < nets.size(); ++i) {
+    for (EdgeId e : pf.netEdges(i)) {
+      const NodeId v = graph().edge(e).to;
+      EXPECT_LT(used[v], 1) << graph().nodeName(v);
+      used[v] = 1;
+    }
+  }
+}
+
+TEST_F(PathFinderTest, FanoutNetsShareTreePrefixes) {
+  PathFinderRouter pf(graph());
+  const auto nets = toPfNets(
+      graph(), makeFanout(graph().device(), 2, 6, 6, /*seed=*/11));
+  const auto res = pf.routeAll(nets);
+  EXPECT_TRUE(res.success);
+  // A 6-sink tree must be smaller than 6 disjoint paths of its depth.
+  EXPECT_LT(pf.netEdges(0).size(), 6u * 12u);
+}
+
+TEST_F(PathFinderTest, ManyNetsConverge) {
+  PathFinderRouter pf(graph());
+  const auto nets =
+      toPfNets(graph(), makeP2P(graph().device(), 40, 2, 20, /*seed=*/3));
+  const auto res = pf.routeAll(nets);
+  EXPECT_TRUE(res.success);
+  EXPECT_GT(res.totalVisits, 0u);
+  EXPECT_GT(res.totalDelay, 0);
+}
+
+}  // namespace
+}  // namespace baseline

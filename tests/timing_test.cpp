@@ -1,0 +1,118 @@
+// Focused tests for the fabric timing model: arrival accumulation across
+// resource mixes, skew over branching trees, and edge cases.
+#include <gtest/gtest.h>
+
+#include "arch/patterns.h"
+#include "core/router.h"
+#include "fabric/timing.h"
+
+namespace xcvsim {
+namespace {
+
+class TimingTest : public ::testing::Test {
+ protected:
+  static const Graph& graph() {
+    static Graph g{xcv50()};
+    return g;
+  }
+  static const PipTable& table() {
+    static PipTable t{ArchDb{xcv50()}};
+    return t;
+  }
+  TimingTest() : fabric_(graph(), table()) {}
+
+  EdgeId on(NetId net, RowCol rc, LocalWire from, LocalWire to) {
+    const EdgeId e = graph().findEdge(graph().nodeAt(rc, from),
+                                      graph().nodeAt(rc, to), rc);
+    EXPECT_NE(e, kInvalidEdge);
+    fabric_.turnOn(e, net);
+    return e;
+  }
+
+  Fabric fabric_;
+};
+
+TEST_F(TimingTest, BareSourceHasNoSinks) {
+  const NodeId src = graph().nodeAt({5, 7}, S1_YQ);
+  fabric_.createNet(src, "n");
+  const NetTiming t = computeNetTiming(fabric_, src);
+  EXPECT_TRUE(t.sinks.empty());
+  EXPECT_EQ(t.maxDelay, 0);
+  EXPECT_EQ(t.skew(), 0);
+}
+
+TEST_F(TimingTest, HexPathIsFasterPerTileThanSingles) {
+  // Build two nets spanning 6 columns: one on a hex, one on six singles.
+  const NodeId hexSrc = graph().nodeAt({5, 7}, S1_YQ);
+  const NetId hexNet = fabric_.createNet(hexSrc, "hex");
+  on(hexNet, {5, 7}, S1_YQ, omux(1));
+  const int h = hexFromOut(1)[0];
+  on(hexNet, {5, 7}, omux(1), hex(Dir::East, HexTap::Beg, h));
+  const DelayPs hexArrival = arrivalAt(
+      fabric_, graph().nodeAt({5, 7}, hex(Dir::East, HexTap::Beg, h)));
+
+  const NodeId sSrc = graph().nodeAt({8, 7}, S1_YQ);
+  const NetId sNet = fabric_.createNet(sSrc, "singles");
+  on(sNet, {8, 7}, S1_YQ, omux(1));
+  on(sNet, {8, 7}, omux(1), single(Dir::East, 1));
+  DelayPs lastArrival = 0;
+  int track = 1;
+  for (int c = 8; c < 13; ++c) {
+    // Straight-through continuation east (every third track runs through).
+    const int next = singleStraightThrough(track) ? track : track + 1;
+    on(sNet, {static_cast<int16_t>(8), static_cast<int16_t>(c)},
+       single(Dir::West, track), single(Dir::East, next));
+    track = next;
+    lastArrival = arrivalAt(
+        fabric_,
+        graph().nodeAt({8, static_cast<int16_t>(c)}, single(Dir::East, next)));
+  }
+  // Six tiles of singles cost far more than one hex.
+  EXPECT_GT(lastArrival, hexArrival * 2);
+}
+
+TEST_F(TimingTest, SkewOverBranchingTree) {
+  const NodeId src = graph().nodeAt({5, 7}, S1_YQ);
+  const NetId net = fabric_.createNet(src, "n");
+  on(net, {5, 7}, S1_YQ, omux(1));
+  // Branch A: straight to a pin at (5,8).
+  on(net, {5, 7}, omux(1), single(Dir::East, 1));
+  const int pinA = clbInFromSingle(1)[0];
+  on(net, {5, 8}, single(Dir::West, 1), clbIn(pinA));
+  // Branch B: two singles then a pin (longer).
+  on(net, {5, 7}, omux(1), single(Dir::North, 1));
+  const auto turn = singleTurn(Dir::South, Dir::East, 1)[0];
+  on(net, {6, 7}, single(Dir::South, 1), single(Dir::East, turn));
+  const int pinB = clbInFromSingle(turn)[1];
+  on(net, {6, 8}, single(Dir::West, turn), clbIn(pinB));
+
+  const NetTiming t = computeNetTiming(fabric_, src);
+  ASSERT_EQ(t.sinks.size(), 2u);
+  // Branch B is exactly one single + one PIP slower.
+  EXPECT_EQ(t.skew(), 350 + kPipDelayPs);
+  EXPECT_EQ(t.maxDelay - t.minDelay, t.skew());
+}
+
+TEST_F(TimingTest, ArrivalAtUnroutedNodeIsIntrinsicDelay) {
+  const NodeId n = graph().nodeAt({5, 7}, single(Dir::East, 3));
+  EXPECT_EQ(arrivalAt(fabric_, n), graph().nodeDelay(n));
+}
+
+TEST_F(TimingTest, LongLineDelayDominatesShortNets) {
+  const NodeId src = graph().nodeAt({6, 6}, S1_YQ);
+  const NetId net = fabric_.createNet(src, "l");
+  on(net, {6, 6}, S1_YQ, omux(1));
+  // OUT drives the accessible horizontal long at an access tile (6 % 6 ==
+  // track 0 or 6's phase).
+  const NodeId lng = graph().nodeAt({6, 6}, longH(0));
+  ASSERT_NE(lng, kInvalidNode);
+  const EdgeId e =
+      graph().findEdge(graph().nodeAt({6, 6}, omux(1)), lng, {6, 6});
+  ASSERT_NE(e, kInvalidEdge);
+  fabric_.turnOn(e, net);
+  EXPECT_EQ(arrivalAt(fabric_, lng),
+            80 + kPipDelayPs + 80 + kPipDelayPs + 1200);
+}
+
+}  // namespace
+}  // namespace xcvsim

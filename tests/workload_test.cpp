@@ -1,0 +1,94 @@
+// Tests for the workload generators: determinism, bounds, pin uniqueness.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "workload/generators.h"
+#include "arch/patterns.h"
+#include "common/error.h"
+
+namespace workload {
+namespace {
+
+using xcvsim::xcv50;
+
+uint64_t key(const Pin& p) {
+  return (static_cast<uint64_t>(static_cast<uint16_t>(p.rc.row)) << 32) |
+         (static_cast<uint64_t>(static_cast<uint16_t>(p.rc.col)) << 16) |
+         p.wire;
+}
+
+TEST(Workload, P2PRespectsDistanceBounds) {
+  const auto nets = makeP2P(xcv50(), 50, 4, 12, 42);
+  ASSERT_EQ(nets.size(), 50u);
+  for (const P2P& n : nets) {
+    const int d = manhattan(n.src.rc, n.sink.rc);
+    EXPECT_GE(d, 4);
+    EXPECT_LE(d, 12);
+    EXPECT_EQ(xcvsim::wireKind(n.src.wire), xcvsim::WireKind::SliceOut);
+    EXPECT_EQ(xcvsim::wireKind(n.sink.wire), xcvsim::WireKind::ClbIn);
+    EXPECT_FALSE(xcvsim::isClockPin(n.sink.wire));
+  }
+}
+
+TEST(Workload, P2PPinsAreUnique) {
+  const auto nets = makeP2P(xcv50(), 100, 1, 30, 7);
+  std::unordered_set<uint64_t> pins;
+  for (const P2P& n : nets) {
+    EXPECT_TRUE(pins.insert(key(n.src)).second);
+    EXPECT_TRUE(pins.insert(key(n.sink)).second);
+  }
+}
+
+TEST(Workload, P2PIsDeterministicPerSeed) {
+  const auto a = makeP2P(xcv50(), 20, 2, 10, 5);
+  const auto b = makeP2P(xcv50(), 20, 2, 10, 5);
+  const auto c = makeP2P(xcv50(), 20, 2, 10, 6);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].sink, b[i].sink);
+  }
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    differs = differs || !(a[i].src == c[i].src);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, FanoutSinksInsideBoundingBox) {
+  const auto nets = makeFanout(xcv50(), 10, 8, 5, 13);
+  ASSERT_EQ(nets.size(), 10u);
+  for (const FanoutNet& n : nets) {
+    EXPECT_EQ(n.sinks.size(), 8u);
+    for (const Pin& s : n.sinks) {
+      EXPECT_LE(std::abs(s.rc.row - n.src.rc.row), 5);
+      EXPECT_LE(std::abs(s.rc.col - n.src.rc.col), 5);
+    }
+  }
+}
+
+TEST(Workload, BusIsAlignedAndRegular) {
+  const Bus bus = makeBus(xcv50(), 16, 5, 99);
+  ASSERT_EQ(bus.srcs.size(), 16u);
+  ASSERT_EQ(bus.sinks.size(), 16u);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(bus.srcs[i].rc.row, bus.sinks[i].rc.row);
+    EXPECT_EQ(bus.sinks[i].rc.col - bus.srcs[i].rc.col, 5);
+  }
+  EXPECT_THROW(makeBus(xcv50(), 16, 200, 1), xcvsim::ArgumentError);
+}
+
+TEST(Workload, ToPfNetsResolvesNodes) {
+  static xcvsim::Graph g{xcv50()};
+  const auto nets = makeP2P(xcv50(), 5, 2, 10, 21);
+  const auto pf = toPfNets(g, nets);
+  ASSERT_EQ(pf.size(), 5u);
+  for (const auto& n : pf) {
+    EXPECT_NE(n.source, xcvsim::kInvalidNode);
+    ASSERT_EQ(n.sinks.size(), 1u);
+    EXPECT_NE(n.sinks[0], xcvsim::kInvalidNode);
+  }
+}
+
+}  // namespace
+}  // namespace workload
