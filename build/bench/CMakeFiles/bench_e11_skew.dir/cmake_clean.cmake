@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_skew.dir/bench_e11_skew.cpp.o"
+  "CMakeFiles/bench_e11_skew.dir/bench_e11_skew.cpp.o.d"
+  "bench_e11_skew"
+  "bench_e11_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_partial_reconfig.dir/bench_e12_partial_reconfig.cpp.o"
+  "CMakeFiles/bench_e12_partial_reconfig.dir/bench_e12_partial_reconfig.cpp.o.d"
+  "bench_e12_partial_reconfig"
+  "bench_e12_partial_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_partial_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

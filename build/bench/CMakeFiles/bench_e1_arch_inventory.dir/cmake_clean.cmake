@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_arch_inventory.dir/bench_e1_arch_inventory.cpp.o"
+  "CMakeFiles/bench_e1_arch_inventory.dir/bench_e1_arch_inventory.cpp.o.d"
+  "bench_e1_arch_inventory"
+  "bench_e1_arch_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_arch_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_api_levels.dir/bench_e2_api_levels.cpp.o"
+  "CMakeFiles/bench_e2_api_levels.dir/bench_e2_api_levels.cpp.o.d"
+  "bench_e2_api_levels"
+  "bench_e2_api_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_api_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_template_vs_maze.dir/bench_e3_template_vs_maze.cpp.o"
+  "CMakeFiles/bench_e3_template_vs_maze.dir/bench_e3_template_vs_maze.cpp.o.d"
+  "bench_e3_template_vs_maze"
+  "bench_e3_template_vs_maze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_template_vs_maze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

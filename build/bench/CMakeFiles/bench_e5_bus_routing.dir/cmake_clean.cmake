@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_bus_routing.dir/bench_e5_bus_routing.cpp.o"
+  "CMakeFiles/bench_e5_bus_routing.dir/bench_e5_bus_routing.cpp.o.d"
+  "bench_e5_bus_routing"
+  "bench_e5_bus_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_bus_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_greedy_vs_pathfinder.dir/bench_e6_greedy_vs_pathfinder.cpp.o"
+  "CMakeFiles/bench_e6_greedy_vs_pathfinder.dir/bench_e6_greedy_vs_pathfinder.cpp.o.d"
+  "bench_e6_greedy_vs_pathfinder"
+  "bench_e6_greedy_vs_pathfinder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_greedy_vs_pathfinder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

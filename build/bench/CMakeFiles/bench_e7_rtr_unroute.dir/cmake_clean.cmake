@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_rtr_unroute.dir/bench_e7_rtr_unroute.cpp.o"
+  "CMakeFiles/bench_e7_rtr_unroute.dir/bench_e7_rtr_unroute.cpp.o.d"
+  "bench_e7_rtr_unroute"
+  "bench_e7_rtr_unroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_rtr_unroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

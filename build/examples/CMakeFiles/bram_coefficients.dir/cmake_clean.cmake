@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bram_coefficients.dir/bram_coefficients.cpp.o"
+  "CMakeFiles/bram_coefficients.dir/bram_coefficients.cpp.o.d"
+  "bram_coefficients"
+  "bram_coefficients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bram_coefficients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

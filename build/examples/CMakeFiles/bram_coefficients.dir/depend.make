@@ -1,0 +1,2 @@
+# Empty dependencies file for bram_coefficients.
+# This may be replaced when dependencies are built.

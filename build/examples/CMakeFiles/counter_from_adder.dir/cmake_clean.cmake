@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_from_adder.dir/counter_from_adder.cpp.o"
+  "CMakeFiles/counter_from_adder.dir/counter_from_adder.cpp.o.d"
+  "counter_from_adder"
+  "counter_from_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_from_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

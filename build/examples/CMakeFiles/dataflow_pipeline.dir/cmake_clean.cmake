@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_pipeline.dir/dataflow_pipeline.cpp.o"
+  "CMakeFiles/dataflow_pipeline.dir/dataflow_pipeline.cpp.o.d"
+  "dataflow_pipeline"
+  "dataflow_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

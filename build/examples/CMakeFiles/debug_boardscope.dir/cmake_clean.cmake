@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_boardscope.dir/debug_boardscope.cpp.o"
+  "CMakeFiles/debug_boardscope.dir/debug_boardscope.cpp.o.d"
+  "debug_boardscope"
+  "debug_boardscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_boardscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/jrsh.cpp" "examples/CMakeFiles/jrsh.dir/jrsh.cpp.o" "gcc" "examples/CMakeFiles/jrsh.dir/jrsh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtr/CMakeFiles/jr_rtr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cores/CMakeFiles/jr_cores.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jr_jroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/jr_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/jr_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/jr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/jr_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrg/CMakeFiles/jr_rrg.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/jr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

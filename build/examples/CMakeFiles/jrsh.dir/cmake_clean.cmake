@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrsh.dir/jrsh.cpp.o"
+  "CMakeFiles/jrsh.dir/jrsh.cpp.o.d"
+  "jrsh"
+  "jrsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_constant_multiplier.dir/rtr_constant_multiplier.cpp.o"
+  "CMakeFiles/rtr_constant_multiplier.dir/rtr_constant_multiplier.cpp.o.d"
+  "rtr_constant_multiplier"
+  "rtr_constant_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_constant_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

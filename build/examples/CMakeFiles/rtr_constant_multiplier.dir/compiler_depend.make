@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rtr_constant_multiplier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for rtr_constant_multiplier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/arch_db.cpp" "src/arch/CMakeFiles/jr_arch.dir/arch_db.cpp.o" "gcc" "src/arch/CMakeFiles/jr_arch.dir/arch_db.cpp.o.d"
+  "/root/repo/src/arch/device.cpp" "src/arch/CMakeFiles/jr_arch.dir/device.cpp.o" "gcc" "src/arch/CMakeFiles/jr_arch.dir/device.cpp.o.d"
+  "/root/repo/src/arch/patterns.cpp" "src/arch/CMakeFiles/jr_arch.dir/patterns.cpp.o" "gcc" "src/arch/CMakeFiles/jr_arch.dir/patterns.cpp.o.d"
+  "/root/repo/src/arch/wires.cpp" "src/arch/CMakeFiles/jr_arch.dir/wires.cpp.o" "gcc" "src/arch/CMakeFiles/jr_arch.dir/wires.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jr_arch.dir/arch_db.cpp.o"
+  "CMakeFiles/jr_arch.dir/arch_db.cpp.o.d"
+  "CMakeFiles/jr_arch.dir/device.cpp.o"
+  "CMakeFiles/jr_arch.dir/device.cpp.o.d"
+  "CMakeFiles/jr_arch.dir/patterns.cpp.o"
+  "CMakeFiles/jr_arch.dir/patterns.cpp.o.d"
+  "CMakeFiles/jr_arch.dir/wires.cpp.o"
+  "CMakeFiles/jr_arch.dir/wires.cpp.o.d"
+  "libjr_arch.a"
+  "libjr_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jr_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jr_baseline.dir/pathfinder.cpp.o"
+  "CMakeFiles/jr_baseline.dir/pathfinder.cpp.o.d"
+  "libjr_baseline.a"
+  "libjr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitstream/bitfile.cpp" "src/bitstream/CMakeFiles/jr_bitstream.dir/bitfile.cpp.o" "gcc" "src/bitstream/CMakeFiles/jr_bitstream.dir/bitfile.cpp.o.d"
+  "/root/repo/src/bitstream/bitstream.cpp" "src/bitstream/CMakeFiles/jr_bitstream.dir/bitstream.cpp.o" "gcc" "src/bitstream/CMakeFiles/jr_bitstream.dir/bitstream.cpp.o.d"
+  "/root/repo/src/bitstream/crc32.cpp" "src/bitstream/CMakeFiles/jr_bitstream.dir/crc32.cpp.o" "gcc" "src/bitstream/CMakeFiles/jr_bitstream.dir/crc32.cpp.o.d"
+  "/root/repo/src/bitstream/decoder.cpp" "src/bitstream/CMakeFiles/jr_bitstream.dir/decoder.cpp.o" "gcc" "src/bitstream/CMakeFiles/jr_bitstream.dir/decoder.cpp.o.d"
+  "/root/repo/src/bitstream/jbits.cpp" "src/bitstream/CMakeFiles/jr_bitstream.dir/jbits.cpp.o" "gcc" "src/bitstream/CMakeFiles/jr_bitstream.dir/jbits.cpp.o.d"
+  "/root/repo/src/bitstream/packets.cpp" "src/bitstream/CMakeFiles/jr_bitstream.dir/packets.cpp.o" "gcc" "src/bitstream/CMakeFiles/jr_bitstream.dir/packets.cpp.o.d"
+  "/root/repo/src/bitstream/pip_table.cpp" "src/bitstream/CMakeFiles/jr_bitstream.dir/pip_table.cpp.o" "gcc" "src/bitstream/CMakeFiles/jr_bitstream.dir/pip_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/jr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

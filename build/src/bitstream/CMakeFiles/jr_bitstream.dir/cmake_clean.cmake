@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jr_bitstream.dir/bitfile.cpp.o"
+  "CMakeFiles/jr_bitstream.dir/bitfile.cpp.o.d"
+  "CMakeFiles/jr_bitstream.dir/bitstream.cpp.o"
+  "CMakeFiles/jr_bitstream.dir/bitstream.cpp.o.d"
+  "CMakeFiles/jr_bitstream.dir/crc32.cpp.o"
+  "CMakeFiles/jr_bitstream.dir/crc32.cpp.o.d"
+  "CMakeFiles/jr_bitstream.dir/decoder.cpp.o"
+  "CMakeFiles/jr_bitstream.dir/decoder.cpp.o.d"
+  "CMakeFiles/jr_bitstream.dir/jbits.cpp.o"
+  "CMakeFiles/jr_bitstream.dir/jbits.cpp.o.d"
+  "CMakeFiles/jr_bitstream.dir/packets.cpp.o"
+  "CMakeFiles/jr_bitstream.dir/packets.cpp.o.d"
+  "CMakeFiles/jr_bitstream.dir/pip_table.cpp.o"
+  "CMakeFiles/jr_bitstream.dir/pip_table.cpp.o.d"
+  "libjr_bitstream.a"
+  "libjr_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jr_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

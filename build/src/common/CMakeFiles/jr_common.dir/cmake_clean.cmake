@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jr_common.dir/error.cpp.o"
+  "CMakeFiles/jr_common.dir/error.cpp.o.d"
+  "CMakeFiles/jr_common.dir/rng.cpp.o"
+  "CMakeFiles/jr_common.dir/rng.cpp.o.d"
+  "libjr_common.a"
+  "libjr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/path.cpp" "src/core/CMakeFiles/jr_jroute.dir/path.cpp.o" "gcc" "src/core/CMakeFiles/jr_jroute.dir/path.cpp.o.d"
+  "/root/repo/src/core/port.cpp" "src/core/CMakeFiles/jr_jroute.dir/port.cpp.o" "gcc" "src/core/CMakeFiles/jr_jroute.dir/port.cpp.o.d"
+  "/root/repo/src/core/router.cpp" "src/core/CMakeFiles/jr_jroute.dir/router.cpp.o" "gcc" "src/core/CMakeFiles/jr_jroute.dir/router.cpp.o.d"
+  "/root/repo/src/core/skew.cpp" "src/core/CMakeFiles/jr_jroute.dir/skew.cpp.o" "gcc" "src/core/CMakeFiles/jr_jroute.dir/skew.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/router/CMakeFiles/jr_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/jr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrg/CMakeFiles/jr_rrg.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/jr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/jr_bitstream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

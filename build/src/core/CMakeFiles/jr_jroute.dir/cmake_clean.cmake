@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jr_jroute.dir/path.cpp.o"
+  "CMakeFiles/jr_jroute.dir/path.cpp.o.d"
+  "CMakeFiles/jr_jroute.dir/port.cpp.o"
+  "CMakeFiles/jr_jroute.dir/port.cpp.o.d"
+  "CMakeFiles/jr_jroute.dir/router.cpp.o"
+  "CMakeFiles/jr_jroute.dir/router.cpp.o.d"
+  "CMakeFiles/jr_jroute.dir/skew.cpp.o"
+  "CMakeFiles/jr_jroute.dir/skew.cpp.o.d"
+  "libjr_jroute.a"
+  "libjr_jroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jr_jroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

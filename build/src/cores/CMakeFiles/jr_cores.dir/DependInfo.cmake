@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cores/adder_tree.cpp" "src/cores/CMakeFiles/jr_cores.dir/adder_tree.cpp.o" "gcc" "src/cores/CMakeFiles/jr_cores.dir/adder_tree.cpp.o.d"
+  "/root/repo/src/cores/block_ram.cpp" "src/cores/CMakeFiles/jr_cores.dir/block_ram.cpp.o" "gcc" "src/cores/CMakeFiles/jr_cores.dir/block_ram.cpp.o.d"
+  "/root/repo/src/cores/comparator.cpp" "src/cores/CMakeFiles/jr_cores.dir/comparator.cpp.o" "gcc" "src/cores/CMakeFiles/jr_cores.dir/comparator.cpp.o.d"
+  "/root/repo/src/cores/const_adder.cpp" "src/cores/CMakeFiles/jr_cores.dir/const_adder.cpp.o" "gcc" "src/cores/CMakeFiles/jr_cores.dir/const_adder.cpp.o.d"
+  "/root/repo/src/cores/counter.cpp" "src/cores/CMakeFiles/jr_cores.dir/counter.cpp.o" "gcc" "src/cores/CMakeFiles/jr_cores.dir/counter.cpp.o.d"
+  "/root/repo/src/cores/kcm.cpp" "src/cores/CMakeFiles/jr_cores.dir/kcm.cpp.o" "gcc" "src/cores/CMakeFiles/jr_cores.dir/kcm.cpp.o.d"
+  "/root/repo/src/cores/lfsr.cpp" "src/cores/CMakeFiles/jr_cores.dir/lfsr.cpp.o" "gcc" "src/cores/CMakeFiles/jr_cores.dir/lfsr.cpp.o.d"
+  "/root/repo/src/cores/register_bank.cpp" "src/cores/CMakeFiles/jr_cores.dir/register_bank.cpp.o" "gcc" "src/cores/CMakeFiles/jr_cores.dir/register_bank.cpp.o.d"
+  "/root/repo/src/cores/rom.cpp" "src/cores/CMakeFiles/jr_cores.dir/rom.cpp.o" "gcc" "src/cores/CMakeFiles/jr_cores.dir/rom.cpp.o.d"
+  "/root/repo/src/cores/rtp_core.cpp" "src/cores/CMakeFiles/jr_cores.dir/rtp_core.cpp.o" "gcc" "src/cores/CMakeFiles/jr_cores.dir/rtp_core.cpp.o.d"
+  "/root/repo/src/cores/shift_reg.cpp" "src/cores/CMakeFiles/jr_cores.dir/shift_reg.cpp.o" "gcc" "src/cores/CMakeFiles/jr_cores.dir/shift_reg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jr_jroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/jr_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/jr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/jr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/jr_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrg/CMakeFiles/jr_rrg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

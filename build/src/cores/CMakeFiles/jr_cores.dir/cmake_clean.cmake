@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jr_cores.dir/adder_tree.cpp.o"
+  "CMakeFiles/jr_cores.dir/adder_tree.cpp.o.d"
+  "CMakeFiles/jr_cores.dir/block_ram.cpp.o"
+  "CMakeFiles/jr_cores.dir/block_ram.cpp.o.d"
+  "CMakeFiles/jr_cores.dir/comparator.cpp.o"
+  "CMakeFiles/jr_cores.dir/comparator.cpp.o.d"
+  "CMakeFiles/jr_cores.dir/const_adder.cpp.o"
+  "CMakeFiles/jr_cores.dir/const_adder.cpp.o.d"
+  "CMakeFiles/jr_cores.dir/counter.cpp.o"
+  "CMakeFiles/jr_cores.dir/counter.cpp.o.d"
+  "CMakeFiles/jr_cores.dir/kcm.cpp.o"
+  "CMakeFiles/jr_cores.dir/kcm.cpp.o.d"
+  "CMakeFiles/jr_cores.dir/lfsr.cpp.o"
+  "CMakeFiles/jr_cores.dir/lfsr.cpp.o.d"
+  "CMakeFiles/jr_cores.dir/register_bank.cpp.o"
+  "CMakeFiles/jr_cores.dir/register_bank.cpp.o.d"
+  "CMakeFiles/jr_cores.dir/rom.cpp.o"
+  "CMakeFiles/jr_cores.dir/rom.cpp.o.d"
+  "CMakeFiles/jr_cores.dir/rtp_core.cpp.o"
+  "CMakeFiles/jr_cores.dir/rtp_core.cpp.o.d"
+  "CMakeFiles/jr_cores.dir/shift_reg.cpp.o"
+  "CMakeFiles/jr_cores.dir/shift_reg.cpp.o.d"
+  "libjr_cores.a"
+  "libjr_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jr_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

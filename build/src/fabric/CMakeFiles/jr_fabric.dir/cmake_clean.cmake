@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jr_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/jr_fabric.dir/fabric.cpp.o.d"
+  "CMakeFiles/jr_fabric.dir/timing.cpp.o"
+  "CMakeFiles/jr_fabric.dir/timing.cpp.o.d"
+  "CMakeFiles/jr_fabric.dir/trace.cpp.o"
+  "CMakeFiles/jr_fabric.dir/trace.cpp.o.d"
+  "libjr_fabric.a"
+  "libjr_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jr_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jr_router.dir/path_engine.cpp.o"
+  "CMakeFiles/jr_router.dir/path_engine.cpp.o.d"
+  "CMakeFiles/jr_router.dir/search.cpp.o"
+  "CMakeFiles/jr_router.dir/search.cpp.o.d"
+  "CMakeFiles/jr_router.dir/template_engine.cpp.o"
+  "CMakeFiles/jr_router.dir/template_engine.cpp.o.d"
+  "CMakeFiles/jr_router.dir/template_lib.cpp.o"
+  "CMakeFiles/jr_router.dir/template_lib.cpp.o.d"
+  "libjr_router.a"
+  "libjr_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jr_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

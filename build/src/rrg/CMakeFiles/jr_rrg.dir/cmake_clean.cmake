@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jr_rrg.dir/graph.cpp.o"
+  "CMakeFiles/jr_rrg.dir/graph.cpp.o.d"
+  "libjr_rrg.a"
+  "libjr_rrg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jr_rrg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtr/boardscope.cpp" "src/rtr/CMakeFiles/jr_rtr.dir/boardscope.cpp.o" "gcc" "src/rtr/CMakeFiles/jr_rtr.dir/boardscope.cpp.o.d"
+  "/root/repo/src/rtr/manager.cpp" "src/rtr/CMakeFiles/jr_rtr.dir/manager.cpp.o" "gcc" "src/rtr/CMakeFiles/jr_rtr.dir/manager.cpp.o.d"
+  "/root/repo/src/rtr/netlist.cpp" "src/rtr/CMakeFiles/jr_rtr.dir/netlist.cpp.o" "gcc" "src/rtr/CMakeFiles/jr_rtr.dir/netlist.cpp.o.d"
+  "/root/repo/src/rtr/report.cpp" "src/rtr/CMakeFiles/jr_rtr.dir/report.cpp.o" "gcc" "src/rtr/CMakeFiles/jr_rtr.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cores/CMakeFiles/jr_cores.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jr_jroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/jr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/jr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/jr_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/jr_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrg/CMakeFiles/jr_rrg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

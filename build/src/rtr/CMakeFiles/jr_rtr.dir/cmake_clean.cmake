@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jr_rtr.dir/boardscope.cpp.o"
+  "CMakeFiles/jr_rtr.dir/boardscope.cpp.o.d"
+  "CMakeFiles/jr_rtr.dir/manager.cpp.o"
+  "CMakeFiles/jr_rtr.dir/manager.cpp.o.d"
+  "CMakeFiles/jr_rtr.dir/netlist.cpp.o"
+  "CMakeFiles/jr_rtr.dir/netlist.cpp.o.d"
+  "CMakeFiles/jr_rtr.dir/report.cpp.o"
+  "CMakeFiles/jr_rtr.dir/report.cpp.o.d"
+  "libjr_rtr.a"
+  "libjr_rtr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jr_rtr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

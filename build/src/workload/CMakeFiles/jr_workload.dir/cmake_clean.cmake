@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jr_workload.dir/generators.cpp.o"
+  "CMakeFiles/jr_workload.dir/generators.cpp.o.d"
+  "libjr_workload.a"
+  "libjr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch_test.cpp" "tests/CMakeFiles/jr_tests.dir/arch_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/arch_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/jr_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/bitstream_test.cpp" "tests/CMakeFiles/jr_tests.dir/bitstream_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/bitstream_test.cpp.o.d"
+  "/root/repo/tests/bram_test.cpp" "tests/CMakeFiles/jr_tests.dir/bram_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/bram_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/jr_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/cores2_test.cpp" "tests/CMakeFiles/jr_tests.dir/cores2_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/cores2_test.cpp.o.d"
+  "/root/repo/tests/cores_test.cpp" "tests/CMakeFiles/jr_tests.dir/cores_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/cores_test.cpp.o.d"
+  "/root/repo/tests/fabric_test.cpp" "tests/CMakeFiles/jr_tests.dir/fabric_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/fabric_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/jr_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/iob_test.cpp" "tests/CMakeFiles/jr_tests.dir/iob_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/iob_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/jr_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/router_engines_test.cpp" "tests/CMakeFiles/jr_tests.dir/router_engines_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/router_engines_test.cpp.o.d"
+  "/root/repo/tests/router_test.cpp" "tests/CMakeFiles/jr_tests.dir/router_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/router_test.cpp.o.d"
+  "/root/repo/tests/rrg_test.cpp" "tests/CMakeFiles/jr_tests.dir/rrg_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/rrg_test.cpp.o.d"
+  "/root/repo/tests/rtr_test.cpp" "tests/CMakeFiles/jr_tests.dir/rtr_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/rtr_test.cpp.o.d"
+  "/root/repo/tests/serialization_test.cpp" "tests/CMakeFiles/jr_tests.dir/serialization_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/serialization_test.cpp.o.d"
+  "/root/repo/tests/skew_test.cpp" "tests/CMakeFiles/jr_tests.dir/skew_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/skew_test.cpp.o.d"
+  "/root/repo/tests/timing_test.cpp" "tests/CMakeFiles/jr_tests.dir/timing_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/timing_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/jr_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/jr_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/jr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrg/CMakeFiles/jr_rrg.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/jr_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/jr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/jr_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jr_jroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/jr_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cores/CMakeFiles/jr_cores.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtr/CMakeFiles/jr_rtr.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
