@@ -1,0 +1,187 @@
+// Routing-service throughput: batched concurrent engine vs serialized
+// baseline.
+//
+// Workload: tile-disjoint point-to-point routes on XCV300 — the case the
+// service's parallel planning phase is built for. The serialized baseline
+// is the raw single-threaded Router issuing the same routes in order; the
+// service run has P producer threads submitting async requests into the
+// batched engine. Reported per mode: requests/second and p50/p99
+// submit-to-resolve latency, as a table and as one JSON line per mode.
+//
+//   ./bench_service_throughput [producers] [reps]
+#include <future>
+#include <thread>
+
+#include "arch/wires.h"
+#include "bench/bench_util.h"
+#include "service/service.h"
+
+using namespace xcvsim;
+using jrbench::JsonWriter;
+using jroute::EndPoint;
+using jroute::Pin;
+
+namespace {
+
+struct Req {
+  Pin src;
+  Pin sink;
+};
+
+/// Tile-disjoint p2p requests: one per cell of a coarse grid, spaced so
+/// that margin-expanded bounding boxes never overlap.
+std::vector<Req> makeDisjointWork(const Graph& g) {
+  const DeviceSpec& dev = g.device();
+  std::vector<Req> work;
+  for (int r = 2; r + 1 < dev.rows - 1; r += 5) {
+    for (int c = 4; c + 2 < dev.cols - 1; c += 6) {
+      work.push_back({Pin(r, c, S1_YQ), Pin(r + 1, c + 2, clbIn(2))});
+    }
+  }
+  return work;
+}
+
+struct RunResult {
+  double seconds = 0;
+  std::vector<double> latenciesMs;
+  uint64_t accepted = 0;
+  uint64_t parallel = 0;
+};
+
+/// Both modes route maze-only: with templates on, a short p2p route costs
+/// microseconds and queue/handoff overhead dominates; the maze makes each
+/// request expensive enough that the parallel planning phase is what's
+/// being measured (and it is the engine both modes share).
+jroute::RouterOptions mazeOnly() {
+  jroute::RouterOptions r;
+  r.templateFirst = false;
+  return r;
+}
+
+RunResult runSerialized(Fabric& fabric, const std::vector<Req>& work) {
+  fabric.clear();
+  jroute::Router router(fabric, mazeOnly());
+  RunResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Req& rq : work) {
+    const auto s0 = std::chrono::steady_clock::now();
+    router.route(EndPoint(rq.src), EndPoint(rq.sink));
+    const auto s1 = std::chrono::steady_clock::now();
+    res.latenciesMs.push_back(
+        std::chrono::duration<double, std::milli>(s1 - s0).count());
+    ++res.accepted;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  res.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return res;
+}
+
+RunResult runService(Fabric& fabric, const std::vector<Req>& work,
+                     unsigned producers) {
+  fabric.clear();
+  jrsvc::ServiceOptions opts;
+  opts.batchSize = 64;
+  opts.router = mazeOnly();
+  jrsvc::RoutingService svc(fabric, opts);
+  std::vector<jrsvc::Session> sessions;
+  for (unsigned p = 0; p < producers; ++p) {
+    sessions.push_back(svc.openSession());
+  }
+
+  struct Pending {
+    std::future<jrsvc::RouteResult> fut;
+    std::chrono::steady_clock::time_point submitted;
+  };
+  std::vector<std::vector<Pending>> pending(producers);
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      // Producer p submits every p-th request, then awaits its futures.
+      for (size_t i = p; i < work.size(); i += producers) {
+        Pending item;
+        item.submitted = std::chrono::steady_clock::now();
+        item.fut = sessions[p].routeAsync(EndPoint(work[i].src),
+                                          EndPoint(work[i].sink));
+        pending[p].push_back(std::move(item));
+      }
+      for (Pending& item : pending[p]) item.fut.wait();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult res;
+  res.seconds = std::chrono::duration<double>(t1 - t0).count();
+  const auto end = std::chrono::steady_clock::now();
+  for (auto& lane : pending) {
+    for (Pending& item : lane) {
+      const jrsvc::RouteResult r = item.fut.get();
+      if (r.ok()) {
+        ++res.accepted;
+        if (r.routedInParallel) ++res.parallel;
+      }
+      res.latenciesMs.push_back(
+          std::chrono::duration<double, std::milli>(end - item.submitted)
+              .count());
+    }
+  }
+  // Upper bound on per-request latency (resolve times are not individually
+  // observable through std::future); the wall-clock and req/s numbers are
+  // exact.
+  svc.stop();
+  return res;
+}
+
+void report(const char* mode, const RunResult& r, size_t reqs,
+            unsigned producers) {
+  const double reqPerSec = static_cast<double>(reqs) / r.seconds;
+  std::printf("%-12s %8.3fs  %9.1f req/s  p50 %7.3fms  p99 %7.3fms"
+              "  accepted %zu/%zu  parallel %llu\n",
+              mode, r.seconds, reqPerSec,
+              jrbench::percentile(r.latenciesMs, 50),
+              jrbench::percentile(r.latenciesMs, 99),
+              static_cast<size_t>(r.accepted), reqs,
+              static_cast<unsigned long long>(r.parallel));
+  JsonWriter j;
+  j.kv("bench", std::string("service_throughput"))
+      .kv("mode", std::string(mode))
+      .kv("producers", static_cast<uint64_t>(producers))
+      .kv("requests", static_cast<uint64_t>(reqs))
+      .kv("seconds", r.seconds)
+      .kv("req_per_sec", reqPerSec)
+      .kv("p50_ms", jrbench::percentile(r.latenciesMs, 50))
+      .kv("p99_ms", jrbench::percentile(r.latenciesMs, 99))
+      .kv("accepted", r.accepted)
+      .kv("parallel_planned", r.parallel);
+  std::printf("%s\n", j.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  unsigned producers = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1]))
+                                : std::min(4u, hw);
+  if (producers == 0) producers = 1;
+  const int reps = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  jrbench::Device& dev = jrbench::sharedDevice(xcv300());
+  const std::vector<Req> work = makeDisjointWork(dev.graph);
+  std::printf("service throughput: %zu tile-disjoint p2p routes on %s, "
+              "%u producer(s), %u core(s)\n\n",
+              work.size(), std::string(xcv300().name).c_str(), producers, hw);
+
+  RunResult bestSerial, bestSvc;
+  for (int rep = 0; rep < reps; ++rep) {
+    RunResult s = runSerialized(dev.fabric, work);
+    if (rep == 0 || s.seconds < bestSerial.seconds) bestSerial = std::move(s);
+    RunResult v = runService(dev.fabric, work, producers);
+    if (rep == 0 || v.seconds < bestSvc.seconds) bestSvc = std::move(v);
+  }
+
+  report("serialized", bestSerial, work.size(), 1);
+  report("service", bestSvc, work.size(), producers);
+  std::printf("\nspeedup: %.2fx\n", bestSerial.seconds / bestSvc.seconds);
+  return 0;
+}

@@ -5,10 +5,14 @@
 // every workload is seeded.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bitstream/pip_table.h"
 #include "core/router.h"
@@ -44,6 +48,50 @@ inline Device& sharedDevice(const xcvsim::DeviceSpec& spec) {
     name = std::string(spec.name);
   }
   return *dev;
+}
+
+/// Minimal single-line JSON object writer, so bench results can be scraped
+/// by scripts as well as read as tables. Usage:
+///   JsonWriter j; j.kv("mode", "service").kv("reqs", 42.0); puts(j.str());
+class JsonWriter {
+ public:
+  JsonWriter& kv(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    return raw(key, buf);
+  }
+  JsonWriter& kv(const char* key, uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(value));
+    return raw(key, buf);
+  }
+  JsonWriter& kv(const char* key, const std::string& value) {
+    return raw(key, "\"" + value + "\"");  // callers pass plain identifiers
+  }
+  const char* str() {
+    out_ = "{" + body_ + "}";
+    return out_.c_str();
+  }
+
+ private:
+  JsonWriter& raw(const char* key, const std::string& v) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + std::string(key) + "\": " + v;
+    return *this;
+  }
+  std::string body_, out_;
+};
+
+/// p-th percentile (0..100) of an unsorted sample, by nearest rank.
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
 }
 
 }  // namespace jrbench

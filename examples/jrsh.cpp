@@ -21,6 +21,8 @@
 //   wire <NAME>                            look up a wire id by name
 //   map | util | nets                      occupancy map / report / nets
 //   save <file> | netlist <file>           bitfile / netlist export
+//   service on|off|stats                   drive routes through the
+//                                          concurrent routing service
 //   quit
 #include <fstream>
 #include <iostream>
@@ -32,6 +34,7 @@
 #include "rtr/boardscope.h"
 #include "rtr/netlist.h"
 #include "rtr/report.h"
+#include "service/service.h"
 
 using namespace jroute;
 using namespace xcvsim;
@@ -43,8 +46,15 @@ struct Session {
   std::unique_ptr<PipTable> table;
   std::unique_ptr<Fabric> fabric;
   std::unique_ptr<Router> router;
+  std::unique_ptr<jrsvc::RoutingService> svc;
+  jrsvc::Session client;
 
   void open(const std::string& name) {
+    if (svc) {
+      svc->stop();
+      svc.reset();
+      client = {};
+    }
     const DeviceSpec& dev = deviceByName(name);
     graph = std::make_unique<Graph>(dev);
     table = std::make_unique<PipTable>(ArchDb{dev});
@@ -56,6 +66,17 @@ struct Session {
 
   bool ready() const { return router != nullptr; }
 };
+
+/// Print a service outcome in the shell's one-line idiom.
+void report(const jrsvc::RouteResult& res, const char* verb) {
+  if (res.ok()) {
+    std::cout << verb << (res.routedInParallel ? " (parallel)" : " (serial)")
+              << "\n";
+  } else {
+    std::cout << "rejected (" << jrsvc::rejectName(res.reason) << ")"
+              << (res.detail.empty() ? "" : ": " + res.detail) << "\n";
+  }
+}
 
 LocalWire lookupWire(const std::string& token) {
   // Numeric id or symbolic name.
@@ -104,23 +125,64 @@ bool handle(Session& s, const std::string& line) {
   } else if (cmd == "auto") {
     const Pin a = readPin(ls);
     const Pin b = readPin(ls);
-    s.router->route(EndPoint(a), EndPoint(b));
-    std::cout << "routed ("
-              << (s.router->stats().lastMethod == RouteMethod::Maze
-                      ? "maze"
-                      : "template")
-              << ")\n";
+    if (s.svc) {
+      report(s.client.route(EndPoint(a), EndPoint(b)), "routed");
+    } else {
+      s.router->route(EndPoint(a), EndPoint(b));
+      std::cout << "routed ("
+                << (s.router->stats().lastMethod == RouteMethod::Maze
+                        ? "maze"
+                        : "template")
+                << ")\n";
+    }
   } else if (cmd == "fanout") {
     const Pin src = readPin(ls);
     int n;
     if (!(ls >> n)) throw ArgumentError("fanout count");
     std::vector<EndPoint> sinks;
     for (int i = 0; i < n; ++i) sinks.push_back(EndPoint(readPin(ls)));
-    s.router->route(EndPoint(src), std::span<const EndPoint>(sinks));
-    std::cout << "routed " << n << " sinks\n";
+    if (s.svc) {
+      report(s.client.fanout(EndPoint(src), std::move(sinks)), "routed");
+    } else {
+      s.router->route(EndPoint(src), std::span<const EndPoint>(sinks));
+      std::cout << "routed " << n << " sinks\n";
+    }
   } else if (cmd == "unroute") {
-    s.router->unroute(EndPoint(readPin(ls)));
-    std::cout << "freed\n";
+    if (s.svc) {
+      report(s.client.unroute(EndPoint(readPin(ls))), "freed");
+    } else {
+      s.router->unroute(EndPoint(readPin(ls)));
+      std::cout << "freed\n";
+    }
+  } else if (cmd == "service") {
+    std::string mode;
+    ls >> mode;
+    if (mode == "on") {
+      if (!s.svc) {
+        s.svc = std::make_unique<jrsvc::RoutingService>(*s.fabric);
+        s.client = s.svc->openSession();
+      }
+      std::cout << "service on (session " << s.client.id() << ")\n";
+    } else if (mode == "off") {
+      if (s.svc) {
+        // Keep the session's nets on the fabric; just stop the engine.
+        s.svc->closeSession(s.client, /*unrouteOwned=*/false);
+        s.svc->stop();
+        s.svc.reset();
+      }
+      std::cout << "service off\n";
+    } else if (mode == "stats") {
+      if (!s.svc) throw ArgumentError("service is off");
+      const jrsvc::ServiceStats st = s.svc->stats();
+      std::cout << "submitted " << st.submitted << "  accepted "
+                << st.accepted << "  rejected " << st.rejected
+                << "  batches " << st.batches << "  parallel "
+                << st.parallelPlanned << "  serial " << st.serialRouted
+                << "  fallbacks " << st.planFallbacks << "  claim-retries "
+                << st.claimRetries << "\n";
+    } else {
+      throw ArgumentError("service on|off|stats");
+    }
   } else if (cmd == "rev") {
     s.router->reverseUnroute(EndPoint(readPin(ls)));
     std::cout << "branch freed\n";

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then a ThreadSanitizer
+# pass over the concurrent routing service.
+#
+#   scripts/tier1.sh [jobs]
+#
+# The TSAN build lives in build-tsan/ so it never pollutes the regular
+# build tree; it runs only the service/concurrency tests (the rest of the
+# suite is single-threaded and already covered by the first pass).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== tier 1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "== tier 1: ThreadSanitizer pass (routing service) =="
+cmake -B build-tsan -S . -DJROUTE_TSAN=ON -DJROUTE_BUILD_BENCH=OFF \
+  -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j "$JOBS" --target jr_tests
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'Service'
+
+echo
+echo "tier 1: OK"

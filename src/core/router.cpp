@@ -34,17 +34,6 @@ std::string pinName(const Pin& p) {
          "." + xcvsim::wireName(p.wire);
 }
 
-/// May this node originate a net (slice output, global clock source, or
-/// I/O pad input buffer)?
-bool driverCapable(const Graph& g, NodeId n) {
-  const NodeInfo inf = g.info(n);
-  if (inf.kind == NodeKind::GclkPad || inf.kind == NodeKind::Gclk ||
-      inf.kind == NodeKind::IobIn || inf.kind == NodeKind::BramOut) {
-    return true;
-  }
-  return inf.kind == NodeKind::Logic && inf.local < xcvsim::kOmuxBase;
-}
-
 Pin sourcePinOf(const EndPoint& ep) {
   if (ep.isPin()) return ep.pin();
   const auto& pins = ep.port().pins();
@@ -55,6 +44,15 @@ Pin sourcePinOf(const EndPoint& ep) {
 }
 
 }  // namespace
+
+bool canDriveNet(const Graph& g, NodeId n) {
+  const NodeInfo inf = g.info(n);
+  if (inf.kind == NodeKind::GclkPad || inf.kind == NodeKind::Gclk ||
+      inf.kind == NodeKind::IobIn || inf.kind == NodeKind::BramOut) {
+    return true;
+  }
+  return inf.kind == NodeKind::Logic && inf.local < xcvsim::kOmuxBase;
+}
 
 Router::Router(Fabric& fabric, RouterOptions opts)
     : fabric_(&fabric), opts_(opts), maze_(fabric.graph()) {}
@@ -69,18 +67,38 @@ NodeId Router::pinNode(const Pin& pin) const {
 
 NetId Router::netFor(NodeId srcNode) {
   if (fabric_->isUsed(srcNode)) return fabric_->netOf(srcNode);
-  if (!driverCapable(fabric_->graph(), srcNode)) {
+  if (!canDriveNet(fabric_->graph(), srcNode)) {
     throw ArgumentError("wire " + fabric_->graph().nodeName(srcNode) +
                         " is not routed and cannot drive a new net");
   }
-  return fabric_->createNet(srcNode,
-                            "net@" + fabric_->graph().nodeName(srcNode));
+  const NetId net = fabric_->createNet(
+      srcNode, "net@" + fabric_->graph().nodeName(srcNode));
+  if (observer_) observer_->netCreated(net, srcNode);
+  return net;
+}
+
+NetId Router::ensureNet(const EndPoint& source, std::string name) {
+  const NodeId srcNode = pinNode(sourcePinOf(source));
+  if (fabric_->isUsed(srcNode)) return fabric_->netOf(srcNode);
+  if (!canDriveNet(fabric_->graph(), srcNode)) {
+    throw ArgumentError("wire " + fabric_->graph().nodeName(srcNode) +
+                        " cannot drive a net");
+  }
+  if (name.empty()) name = "net@" + fabric_->graph().nodeName(srcNode);
+  const NetId net = fabric_->createNet(srcNode, std::move(name));
+  if (observer_) observer_->netCreated(net, srcNode);
+  return net;
 }
 
 void Router::turnOnChain(std::span<const EdgeId> chain, NetId net) {
+  // Track which edges this call actually switched: a chain may reuse an
+  // already-on edge of its own net (idempotent template reuse), and that
+  // edge must survive a rollback and stay out of the journal.
+  std::vector<bool> fresh(chain.size(), false);
   size_t done = 0;
   try {
     for (const EdgeId e : chain) {
+      fresh[done] = !fabric_->edgeOn(e);
       fabric_->turnOn(e, net);
       ++done;
       ++stats_.pipsTurnedOn;
@@ -89,11 +107,23 @@ void Router::turnOnChain(std::span<const EdgeId> chain, NetId net) {
     // Roll back the partial chain so a failed call leaves no debris.
     while (done > 0) {
       --done;
+      if (!fresh[done]) continue;
       fabric_->turnOff(chain[done]);
       ++stats_.pipsTurnedOff;
     }
     throw;
   }
+  // Only a fully applied chain is durable; report it to the journal.
+  if (observer_) {
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (fresh[i]) observer_->pipTurnedOn(chain[i], net);
+    }
+  }
+}
+
+void Router::commitChain(std::span<const EdgeId> chain, NetId net) {
+  turnOnChain(chain, net);
+  ++stats_.routesCompleted;
 }
 
 // --- Level 1: single connections ---------------------------------------------
@@ -118,10 +148,12 @@ void Router::routePip(const Pin& from, const Pin& to) {
                         pinName(to));
   }
   const NetId net = netFor(u);
+  const bool wasOn = fabric_->edgeOn(e);
   fabric_->turnOn(e, net);
   ++stats_.pipsTurnedOn;
   ++stats_.routesCompleted;
   stats_.lastMethod = RouteMethod::DirectPip;
+  if (observer_ && !wasOn) observer_->pipTurnedOn(e, net);
 }
 
 // --- Level 2: explicit path ---------------------------------------------------

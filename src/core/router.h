@@ -33,6 +33,26 @@ struct NetTrace {
   std::vector<NodeId> sinks;
 };
 
+/// Journal of the net effects a Router applies to the fabric. The
+/// transactional layer (service/txn.h) installs one to capture everything
+/// a staged route did, so a failed multi-sink call can be rolled back to a
+/// bit-identical fabric. Only *durable* effects are reported: a partial
+/// chain that the router itself rolled back mid-call never reaches the
+/// observer.
+class RouteObserver {
+ public:
+  virtual ~RouteObserver() = default;
+  /// A net was created on behalf of a routing call.
+  virtual void netCreated(NetId net, NodeId source) = 0;
+  /// A PIP was durably turned on as part of `net`.
+  virtual void pipTurnedOn(xcvsim::EdgeId e, NetId net) = 0;
+};
+
+/// May this node originate a net (slice output, global clock source, I/O
+/// pad input buffer, or BRAM data output)? Shared by the router's netFor
+/// and the service planner's plan-time validation.
+bool canDriveNet(const xcvsim::Graph& g, NodeId n);
+
 class Router {
  public:
   explicit Router(Fabric& fabric, RouterOptions opts = {});
@@ -73,6 +93,12 @@ class Router {
   int tryRouteBus(std::span<const EndPoint> sources,
                   std::span<const EndPoint> sinks);
 
+  /// Turn on a pre-planned edge chain as part of `net`, with the same
+  /// rollback-on-failure and journaling as the built-in engines. This is
+  /// the commit path of the routing service: plans computed concurrently
+  /// against a frozen fabric are applied here, serially.
+  void commitChain(std::span<const EdgeId> chain, NetId net);
+
   // --- Unrouter (section 3.3) ------------------------------------------------
 
   /// Forward unroute: free the entire net driven from `source`.
@@ -109,7 +135,27 @@ class Router {
   /// core replace/relocate has re-bound the port's pins).
   void rerouteConnectionsOf(const Port& port);
 
+  /// Remember a port connection that was routed outside this router (e.g.
+  /// through a routing-service session) so reconfigure/relocate can
+  /// restore it. No-op unless an endpoint involves a port.
+  void rememberConnection(const EndPoint& source, const EndPoint& sink) {
+    recordConnection(source, std::span<const EndPoint>(&sink, 1));
+  }
+
   // --- Infrastructure -----------------------------------------------------------
+
+  /// Net driving `source`, created (and reported to the observer) when the
+  /// source is not routed yet. Lets callers supply the net id and name
+  /// externally — the routing service tags nets with their owning session.
+  NetId ensureNet(const EndPoint& source, std::string name = {});
+
+  /// Install a journaling observer; returns the previous one (restore it
+  /// when done). Pass nullptr to detach.
+  RouteObserver* setObserver(RouteObserver* obs) {
+    RouteObserver* prev = observer_;
+    observer_ = obs;
+    return prev;
+  }
 
   Fabric& fabric() { return *fabric_; }
   const Fabric& fabric() const { return *fabric_; }
@@ -140,6 +186,7 @@ class Router {
   MazeRouter maze_;
   RouteStats stats_;
   std::vector<Connection> connections_;
+  RouteObserver* observer_ = nullptr;
   bool recording_ = true;
 };
 

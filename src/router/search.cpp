@@ -104,6 +104,9 @@ SearchResult MazeRouter::route(const Fabric& fabric, NetId net,
       // only usable as starts (re-entering them would add a second driver).
       if (fabric.isUsed(v) && v != goal) continue;
       if (fabric.isUsed(goal) && v == goal) continue;
+      // Nodes tentatively claimed by a concurrent planner are obstacles
+      // exactly like committed nets.
+      if (opts.claimFilter && opts.claimFilter->blocked(v)) continue;
       const DelayPs ng = gCost_[n] + kPipDelayPs + g.nodeDelay(v);
       if (epochSeen_[v] == epoch_ && gCost_[v] <= ng) continue;
       epochSeen_[v] = epoch_;

@@ -28,8 +28,18 @@ void RtrManager::connect(std::span<Port* const> sources,
   dst.reserve(sinks.size());
   for (Port* p : sources) src.push_back(EndPoint(*p));
   for (Port* p : sinks) dst.push_back(EndPoint(*p));
-  router_->route(std::span<const EndPoint>(src),
-                 std::span<const EndPoint>(dst));
+  if (connector_) {
+    connector_(std::span<const EndPoint>(src),
+               std::span<const EndPoint>(dst));
+    // The router still remembers the connection for reconfigure/relocate
+    // (the connector routed it, so remember without routing again).
+    for (size_t i = 0; i < src.size(); ++i) {
+      router_->rememberConnection(src[i], dst[i]);
+    }
+  } else {
+    router_->route(std::span<const EndPoint>(src),
+                   std::span<const EndPoint>(dst));
+  }
 }
 
 void RtrManager::connect(const RtpCore& from, std::string_view fromGroup,

@@ -10,6 +10,7 @@
 //    new core. ... Core relocation is handled in a similar way."
 #pragma once
 
+#include <functional>
 #include <string_view>
 #include <vector>
 
@@ -19,9 +20,20 @@ namespace jroute {
 
 class RtrManager {
  public:
+  /// Routes a port-group bus (sources[i] -> sinks[i]); throws
+  /// ContentionError / UnroutableError / JRouteError like Router::route.
+  using BusConnector = std::function<void(std::span<const EndPoint>,
+                                          std::span<const EndPoint>)>;
+
   explicit RtrManager(Router& router) : router_(&router) {}
 
   Router& router() { return *router_; }
+
+  /// Route port connections through `fn` instead of the raw router — e.g.
+  /// a jrsvc::Session, so the manager's nets are session-owned and go
+  /// through the service's batching and transactional machinery. Pass an
+  /// empty function to restore direct routing.
+  void setConnector(BusConnector fn) { connector_ = std::move(fn); }
 
   /// Place a core and start tracking it.
   void install(RtpCore& core, RowCol origin);
@@ -47,6 +59,7 @@ class RtrManager {
   void reconnect(RtpCore& core);
 
   Router* router_;
+  BusConnector connector_;
   std::vector<RtpCore*> cores_;
 };
 

@@ -1,0 +1,78 @@
+// Bounded multi-producer single-consumer request queue.
+//
+// Producers are client sessions on arbitrary threads; the consumer is the
+// engine, which drains in batches. The queue enforces backpressure by
+// construction: tryPush never blocks and fails when the queue is at
+// capacity, which the service turns into Rejected{kOverloaded} so an
+// overloaded server sheds load instead of growing an unbounded backlog.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace jrsvc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : cap_(capacity) {}
+
+  /// Enqueue without blocking. False when full or closed.
+  bool tryPush(T&& item) {
+    {
+      std::lock_guard lk(mu_);
+      if (closed_ || items_.size() >= cap_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Move up to `maxItems` into `out`. Blocks up to `wait` for the first
+  /// item (zero = poll). Returns the number of items drained.
+  size_t drain(std::vector<T>& out, size_t maxItems,
+               std::chrono::milliseconds wait) {
+    std::unique_lock lk(mu_);
+    if (items_.empty() && wait.count() > 0) {
+      cv_.wait_for(lk, wait, [&] { return !items_.empty() || closed_; });
+    }
+    size_t n = 0;
+    while (n < maxItems && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Stop accepting new items and wake the consumer.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  size_t cap_;
+  bool closed_ = false;
+};
+
+}  // namespace jrsvc

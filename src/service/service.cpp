@@ -1,0 +1,535 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+#include "fabric/trace.h"
+#include "service/txn.h"
+
+namespace jrsvc {
+
+using jroute::EndPoint;
+using jroute::Pin;
+using xcvsim::ArgumentError;
+using xcvsim::ContentionError;
+using xcvsim::JRouteError;
+using xcvsim::kInvalidNet;
+using xcvsim::kInvalidNode;
+using xcvsim::NetId;
+using xcvsim::RowCol;
+using xcvsim::UnroutableError;
+
+const char* rejectName(Reject r) {
+  switch (r) {
+    case Reject::kNone: return "none";
+    case Reject::kContention: return "contention";
+    case Reject::kUnroutable: return "unroutable";
+    case Reject::kOverloaded: return "overloaded";
+    case Reject::kDeadlineExpired: return "deadline-expired";
+    case Reject::kNotOwner: return "not-owner";
+    case Reject::kBadArgument: return "bad-argument";
+    case Reject::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+namespace {
+
+RouteResult accepted(NodeId netSource, bool parallel) {
+  RouteResult r;
+  r.outcome = Outcome::kAccepted;
+  r.reason = Reject::kNone;
+  r.netSource = netSource;
+  r.routedInParallel = parallel;
+  return r;
+}
+
+RouteResult rejected(Reject reason, std::string detail) {
+  RouteResult r;
+  r.outcome = Outcome::kRejected;
+  r.reason = reason;
+  r.detail = std::move(detail);
+  return r;
+}
+
+}  // namespace
+
+// --- Box ------------------------------------------------------------------------
+
+void RoutingService::Box::add(RowCol rc) {
+  r0 = std::min<int>(r0, rc.row);
+  c0 = std::min<int>(c0, rc.col);
+  r1 = std::max<int>(r1, rc.row);
+  c1 = std::max<int>(c1, rc.col);
+}
+
+void RoutingService::Box::expand(int margin) {
+  r0 -= margin;
+  c0 -= margin;
+  r1 += margin;
+  c1 += margin;
+}
+
+bool RoutingService::Box::intersects(const Box& o) const {
+  return r0 <= o.r1 && o.r0 <= r1 && c0 <= o.c1 && o.c0 <= c1;
+}
+
+// --- Lifecycle --------------------------------------------------------------------
+
+RoutingService::RoutingService(xcvsim::Fabric& fabric, ServiceOptions opts)
+    : fabric_(&fabric),
+      opts_(opts),
+      router_(fabric, opts.router),
+      claims_(fabric.graph().numNodes()),
+      queue_(opts.queueCapacity) {
+  unsigned planThreads = opts_.planThreads != 0
+                             ? opts_.planThreads
+                             : std::max(1u, std::thread::hardware_concurrency());
+  enginePlanner_ =
+      std::make_unique<Planner>(*fabric_, claims_, opts_.router);
+  for (unsigned i = 1; i < planThreads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+  if (!opts_.manualPump) {
+    engine_ = std::thread([this] { engineLoop(); });
+  }
+}
+
+RoutingService::~RoutingService() { stop(); }
+
+void RoutingService::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  queue_.close();
+  if (engine_.joinable()) {
+    engine_.join();
+  } else {
+    // Manual-pump mode: drain whatever is still queued.
+    while (pumpOnce() > 0) {
+    }
+  }
+  {
+    std::lock_guard lk(workMu_);
+    shutdownWorkers_ = true;
+  }
+  workCv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+// --- Sessions ---------------------------------------------------------------------
+
+Session RoutingService::openSession() {
+  return Session(*this, nextSessionId_.fetch_add(1));
+}
+
+void RoutingService::closeSession(Session& session, bool unrouteOwned) {
+  if (!session.valid()) return;
+  const uint64_t id = session.id();
+  if (unrouteOwned) {
+    std::vector<NodeId> owned = netsOf(id);
+    std::lock_guard lk(fabricMu_);
+    for (const NodeId src : owned) {
+      if (fabric_->isUsed(src)) unrouteNode(src);
+    }
+  }
+  {
+    std::lock_guard lk(ownerMu_);
+    std::erase_if(netOwner_,
+                  [&](const auto& kv) { return kv.second == id; });
+  }
+  session.svc_ = nullptr;
+  session.id_ = 0;
+}
+
+std::vector<NodeId> RoutingService::netsOf(uint64_t sessionId) const {
+  std::lock_guard lk(ownerMu_);
+  std::vector<NodeId> out;
+  for (const auto& [src, owner] : netOwner_) {
+    if (owner == sessionId) out.push_back(src);
+  }
+  return out;
+}
+
+void RoutingService::registerNet(NodeId source, uint64_t sessionId) {
+  std::lock_guard lk(ownerMu_);
+  netOwner_[source] = sessionId;
+}
+
+// --- Submission -------------------------------------------------------------------
+
+std::future<RouteResult> RoutingService::submit(
+    Op op, uint64_t sessionId, std::vector<EndPoint> sources,
+    std::vector<EndPoint> sinks, Clock::time_point deadline) {
+  Request req;
+  req.op = op;
+  req.id = nextRequestId_.fetch_add(1);
+  req.sessionId = sessionId;
+  req.sources = std::move(sources);
+  req.sinks = std::move(sinks);
+  req.deadline = deadline;
+  std::future<RouteResult> fut = req.promise.get_future();
+  stats_.submitted.fetch_add(1);
+  if (!queue_.tryPush(std::move(req))) {
+    // tryPush does not consume the request on failure.
+    const bool closed = queue_.closed();
+    if (!closed) stats_.overloaded.fetch_add(1);
+    stats_.rejected.fetch_add(1);
+    req.promise.set_value(rejected(
+        closed ? Reject::kShutdown : Reject::kOverloaded,
+        closed ? "service stopped" : "request queue at capacity"));
+  }
+  return fut;
+}
+
+void RoutingService::withRouter(
+    const std::function<void(jroute::Router&)>& fn) {
+  std::lock_guard lk(fabricMu_);
+  fn(router_);
+}
+
+// --- Engine -----------------------------------------------------------------------
+
+void RoutingService::engineLoop() {
+  std::vector<Request> batch;
+  while (true) {
+    batch.clear();
+    queue_.drain(batch, opts_.batchSize, opts_.drainWait);
+    if (batch.empty()) {
+      if (queue_.closed() && queue_.size() == 0) return;
+      continue;
+    }
+    std::lock_guard lk(fabricMu_);
+    processBatch(batch);
+  }
+}
+
+size_t RoutingService::pumpOnce() {
+  std::vector<Request> batch;
+  queue_.drain(batch, opts_.batchSize, std::chrono::milliseconds(0));
+  if (batch.empty()) return 0;
+  std::lock_guard lk(fabricMu_);
+  processBatch(batch);
+  return batch.size();
+}
+
+void RoutingService::finish(Request& req, RouteResult res) {
+  if (res.ok()) {
+    stats_.accepted.fetch_add(1);
+  } else {
+    stats_.rejected.fetch_add(1);
+    switch (res.reason) {
+      case Reject::kContention: stats_.contention.fetch_add(1); break;
+      case Reject::kUnroutable: stats_.unroutable.fetch_add(1); break;
+      case Reject::kDeadlineExpired: stats_.deadlineExpired.fetch_add(1); break;
+      default: break;
+    }
+  }
+  req.promise.set_value(std::move(res));
+}
+
+std::optional<RouteResult> RoutingService::precheckRoute(const Request& req,
+                                                         Box& box) {
+  const xcvsim::Graph& g = fabric_->graph();
+  if (req.sources.empty() || req.sinks.empty()) {
+    return rejected(Reject::kBadArgument, "no endpoints");
+  }
+  if (req.op == Op::kRouteBus && req.sources.size() != req.sinks.size()) {
+    return rejected(Reject::kBadArgument, "bus width mismatch");
+  }
+  const size_t numNets = req.op == Op::kRouteBus ? req.sources.size() : 1;
+  for (size_t i = 0; i < numNets; ++i) {
+    const auto pins = req.sources[i].resolve();
+    if (pins.empty()) {
+      return rejected(Reject::kBadArgument, "source has no bound pins");
+    }
+    for (const Pin& p : pins) box.add(p.rc);
+    const NodeId n = g.nodeAt(pins.front().rc, pins.front().wire);
+    if (n == kInvalidNode) {
+      return rejected(Reject::kBadArgument, "source pin names no wire");
+    }
+    if (fabric_->isUsed(n)) {
+      // Extending an existing net requires owning it.
+      const NodeId netSrc = fabric_->netSource(fabric_->netOf(n));
+      std::lock_guard lk(ownerMu_);
+      const auto it = netOwner_.find(netSrc);
+      if (it == netOwner_.end() || it->second != req.sessionId) {
+        return rejected(Reject::kNotOwner,
+                        "net '" + fabric_->netName(fabric_->netOf(n)) +
+                            "' is not owned by this session");
+      }
+    }
+  }
+  for (const EndPoint& ep : req.sinks) {
+    for (const Pin& p : ep.resolve()) box.add(p.rc);
+  }
+  return std::nullopt;
+}
+
+void RoutingService::processBatch(std::vector<Request>& reqs) {
+  stats_.batches.fetch_add(1);
+  const auto now = Clock::now();
+
+  std::vector<PlanJob> jobs;
+  std::vector<Request*> serial;
+  std::vector<Box> taken;
+  jobs.reserve(reqs.size());
+  for (Request& req : reqs) {
+    if (req.hasDeadline() && now > req.deadline) {
+      finish(req, rejected(Reject::kDeadlineExpired,
+                           "expired before execution"));
+      continue;
+    }
+    if (!req.isRoute()) {
+      serial.push_back(&req);
+      continue;
+    }
+    Box box;
+    if (auto rej = precheckRoute(req, box)) {
+      finish(req, std::move(*rej));
+      continue;
+    }
+    box.expand(opts_.disjointMargin);
+    const bool overlaps =
+        std::any_of(taken.begin(), taken.end(),
+                    [&](const Box& b) { return b.intersects(box); });
+    if (overlaps) {
+      serial.push_back(&req);
+    } else {
+      taken.push_back(box);
+      PlanJob job;
+      job.req = &req;
+      job.owner = static_cast<uint32_t>(req.id % 0xFFFFFFFFu) + 1;
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  if (!jobs.empty()) {
+    // Parallel phase: fabric frozen, workers + engine plan concurrently.
+    PlanPhase phase;
+    phase.jobs = &jobs;
+    const size_t numWorkers = workers_.size();
+    if (numWorkers > 0) {
+      {
+        std::lock_guard lk(workMu_);
+        phase_ = &phase;
+        ++workGen_;
+      }
+      workCv_.notify_all();
+    }
+    runJobs(phase, *enginePlanner_);
+    if (numWorkers > 0) {
+      std::unique_lock lk(workMu_);
+      doneCv_.wait(lk, [&] {
+        return phase.workersDone.load(std::memory_order_acquire) ==
+               numWorkers;
+      });
+      phase_ = nullptr;
+    }
+
+    // Commit phase: apply plans serially, in submission order.
+    for (PlanJob& job : jobs) {
+      stats_.claimRetries.fetch_add(job.plan.retries);
+      if (job.plan.found) {
+        RouteResult res;
+        if (commitPlan(*job.req, job, res)) {
+          claims_.releaseAll(job.plan.claimed, job.owner);
+          finish(*job.req, std::move(res));
+          continue;
+        }
+      }
+      claims_.releaseAll(job.plan.claimed, job.owner);
+      if (job.plan.authoritative) {
+        finish(*job.req, rejected(job.plan.reason, job.plan.detail));
+      } else {
+        stats_.planFallbacks.fetch_add(1);
+        serial.push_back(job.req);
+      }
+    }
+  }
+
+  // Serialized phase: conflicting, fallen-back, and unroute requests, in
+  // arrival order, against the post-commit fabric.
+  for (Request* req : serial) {
+    finish(*req, executeSerial(*req));
+  }
+}
+
+void RoutingService::workerLoop() {
+  Planner planner(*fabric_, claims_, opts_.router);
+  uint64_t seen = 0;
+  while (true) {
+    PlanPhase* phase = nullptr;
+    {
+      std::unique_lock lk(workMu_);
+      workCv_.wait(lk, [&] { return shutdownWorkers_ || workGen_ != seen; });
+      if (shutdownWorkers_) return;
+      seen = workGen_;
+      phase = phase_;
+    }
+    if (phase != nullptr) runJobs(*phase, planner);
+    {
+      std::lock_guard lk(workMu_);
+      if (phase != nullptr) {
+        phase->workersDone.fetch_add(1, std::memory_order_release);
+      }
+    }
+    doneCv_.notify_all();
+  }
+}
+
+void RoutingService::runJobs(PlanPhase& phase, Planner& planner) {
+  while (true) {
+    const size_t i = phase.next.fetch_add(1);
+    if (i >= phase.jobs->size()) return;
+    PlanJob& job = (*phase.jobs)[i];
+    job.plan = planner.plan(job.owner, *job.req);
+  }
+}
+
+// --- Commit and serialized execution ---------------------------------------------
+
+bool RoutingService::commitPlan(Request& req, PlanJob& job,
+                                RouteResult& out) {
+  RouteTxn txn(router_);
+  NodeId firstSrc = kInvalidNode;
+  try {
+    std::vector<NodeId> newlyOwned;
+    for (const PlannedNet& pn : job.plan.nets) {
+      NetId net = pn.existing;
+      if (net == kInvalidNet) {
+        net = txn.ensureNet(EndPoint(pn.srcPin),
+                            "s" + std::to_string(req.sessionId) + ":" +
+                                fabric_->graph().nodeName(pn.srcNode));
+        newlyOwned.push_back(pn.srcNode);
+      }
+      txn.commitChain(pn.edges, net);
+      if (firstSrc == kInvalidNode) firstSrc = pn.srcNode;
+    }
+    txn.commit();
+    for (const NodeId src : newlyOwned) registerNet(src, req.sessionId);
+    stats_.parallelPlanned.fetch_add(1);
+    out = accepted(firstSrc, /*parallel=*/true);
+    return true;
+  } catch (const JRouteError&) {
+    // A plan that does not apply cleanly (should be rare: claims make
+    // plans disjoint) is retried on the authoritative serialized path.
+    txn.rollback();
+    return false;
+  }
+}
+
+RouteResult RoutingService::executeSerial(Request& req) {
+  if (req.hasDeadline() && Clock::now() > req.deadline) {
+    return rejected(Reject::kDeadlineExpired, "expired before execution");
+  }
+  if (req.op == Op::kUnroute) return executeUnroute(req);
+
+  // The fabric may have changed since the batch was classified; re-check.
+  Box box;
+  if (auto rej = precheckRoute(req, box)) return std::move(*rej);
+
+  const xcvsim::Graph& g = fabric_->graph();
+  RouteTxn txn(router_);
+  try {
+    const size_t numNets = req.op == Op::kRouteBus ? req.sources.size() : 1;
+    std::vector<NodeId> srcNodes;
+    std::vector<NodeId> newlyOwned;
+    for (size_t i = 0; i < numNets; ++i) {
+      const Pin p = req.sources[i].resolve().front();
+      const NodeId n = g.nodeAt(p.rc, p.wire);
+      srcNodes.push_back(n);
+      if (!fabric_->isUsed(n)) {
+        txn.ensureNet(req.sources[i], "s" + std::to_string(req.sessionId) +
+                                          ":" + g.nodeName(n));
+        newlyOwned.push_back(n);
+      }
+    }
+    if (req.op == Op::kRouteBus) {
+      txn.routeBus(req.sources, req.sinks);
+    } else {
+      txn.route(req.sources.front(), req.sinks);
+    }
+    txn.commit();
+    for (const NodeId src : newlyOwned) registerNet(src, req.sessionId);
+    stats_.serialRouted.fetch_add(1);
+    return accepted(srcNodes.front(), /*parallel=*/false);
+  } catch (const ContentionError& e) {
+    txn.rollback();
+    return rejected(Reject::kContention, e.what());
+  } catch (const UnroutableError& e) {
+    txn.rollback();
+    return rejected(Reject::kUnroutable, e.what());
+  } catch (const JRouteError& e) {
+    txn.rollback();
+    return rejected(Reject::kBadArgument, e.what());
+  }
+}
+
+RouteResult RoutingService::executeUnroute(Request& req) {
+  const xcvsim::Graph& g = fabric_->graph();
+  if (req.sources.empty()) {
+    return rejected(Reject::kBadArgument, "no source to unroute");
+  }
+  const auto pins = req.sources.front().resolve();
+  if (pins.empty()) {
+    return rejected(Reject::kBadArgument, "source has no bound pins");
+  }
+  const NodeId n = g.nodeAt(pins.front().rc, pins.front().wire);
+  if (n == kInvalidNode) {
+    return rejected(Reject::kBadArgument, "source pin names no wire");
+  }
+  if (!fabric_->isUsed(n)) {
+    return rejected(Reject::kBadArgument,
+                    g.nodeName(n) + " is not routed");
+  }
+  const NetId net = fabric_->netOf(n);
+  const NodeId netSrc = fabric_->netSource(net);
+  {
+    std::lock_guard lk(ownerMu_);
+    const auto it = netOwner_.find(netSrc);
+    if (it == netOwner_.end() || it->second != req.sessionId) {
+      return rejected(Reject::kNotOwner,
+                      "net '" + fabric_->netName(net) +
+                          "' is not owned by this session");
+    }
+  }
+  unrouteNode(netSrc);
+  {
+    std::lock_guard lk(ownerMu_);
+    netOwner_.erase(netSrc);
+  }
+  stats_.serialRouted.fetch_add(1);
+  return accepted(netSrc, /*parallel=*/false);
+}
+
+void RoutingService::unrouteNode(NodeId source) {
+  const NetId net = fabric_->netOf(source);
+  const auto hops = traceForward(*fabric_, source);
+  // Leaf-side first keeps the fabric consistent at every step.
+  for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+    fabric_->turnOff(it->edge);
+  }
+  if (fabric_->netSource(net) == source) fabric_->removeNet(net);
+}
+
+ServiceStats RoutingService::stats() const {
+  ServiceStats s;
+  s.submitted = stats_.submitted.load();
+  s.accepted = stats_.accepted.load();
+  s.rejected = stats_.rejected.load();
+  s.overloaded = stats_.overloaded.load();
+  s.deadlineExpired = stats_.deadlineExpired.load();
+  s.contention = stats_.contention.load();
+  s.unroutable = stats_.unroutable.load();
+  s.batches = stats_.batches.load();
+  s.parallelPlanned = stats_.parallelPlanned.load();
+  s.serialRouted = stats_.serialRouted.load();
+  s.planFallbacks = stats_.planFallbacks.load();
+  s.claimRetries = stats_.claimRetries.load();
+  return s;
+}
+
+}  // namespace jrsvc

@@ -1,0 +1,181 @@
+// The concurrent routing service: sessions, transactional nets, and a
+// batched request engine.
+//
+// The paper frames JRoute as a run-time API driven by live applications
+// (BoardScope debug, RTP core replacement). This layer makes that
+// multi-client: requests from any number of threads enter a bounded MPSC
+// queue, and a single engine thread drains them in batches. Within a
+// batch, requests whose tile bounding boxes are disjoint are planned in
+// parallel by a worker pool against a frozen fabric — per-node claim
+// flags (ClaimMap) arbitrate wires between concurrent planners — then the
+// plans are committed serially under transactional journaling. Requests
+// that genuinely conflict (overlapping regions, unroutes, lost claim
+// races, plan/commit failures) run on the serialized path, which is
+// authoritative. Backpressure is structural: a full queue rejects with
+// kOverloaded, and per-request deadlines shed stale work before it costs
+// routing effort.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/router.h"
+#include "service/claim_map.h"
+#include "service/planner.h"
+#include "service/queue.h"
+#include "service/request.h"
+#include "service/session.h"
+
+namespace jrsvc {
+
+struct ServiceOptions {
+  /// Request queue capacity; a full queue rejects with kOverloaded.
+  size_t queueCapacity = 1024;
+  /// Maximum requests drained per batch.
+  size_t batchSize = 64;
+  /// Planning threads including the engine itself; 0 = use
+  /// std::thread::hardware_concurrency().
+  unsigned planThreads = 0;
+  /// Margin (tiles) added around each request's bounding box when deciding
+  /// tile-disjointness for the parallel phase. Claims make correctness
+  /// independent of this value; it only tunes how often plans collide.
+  int disjointMargin = 1;
+  /// Manual mode: no engine thread; the owner drives pumpOnce(). Used by
+  /// deterministic tests (backpressure, deadlines).
+  bool manualPump = false;
+  /// How long an idle engine waits for the first request of a batch.
+  std::chrono::milliseconds drainWait{100};
+  /// Options for the underlying router and the parallel planners.
+  jroute::RouterOptions router{};
+};
+
+class RoutingService {
+ public:
+  explicit RoutingService(xcvsim::Fabric& fabric, ServiceOptions opts = {});
+  ~RoutingService();
+
+  RoutingService(const RoutingService&) = delete;
+  RoutingService& operator=(const RoutingService&) = delete;
+
+  // --- Sessions ----------------------------------------------------------------
+
+  Session openSession();
+
+  /// Unroute every net the session still owns (when `unrouteOwned`) and
+  /// forget the session. The handle becomes invalid.
+  void closeSession(Session& session, bool unrouteOwned = true);
+
+  // --- Requests ----------------------------------------------------------------
+
+  /// Enqueue one request. Sessions call this through their sugar methods;
+  /// it is public for custom drivers. Never blocks: a full queue resolves
+  /// the future immediately with Rejected{kOverloaded}.
+  std::future<RouteResult> submit(Op op, uint64_t sessionId,
+                                  std::vector<jroute::EndPoint> sources,
+                                  std::vector<jroute::EndPoint> sinks,
+                                  Clock::time_point deadline = {});
+
+  /// Manual-pump mode: drain and process at most one batch on the calling
+  /// thread. Returns the number of requests processed.
+  size_t pumpOnce();
+
+  /// Run `fn` with exclusive access to the underlying router — for
+  /// queries (trace, reports), core placement, and configuration while
+  /// the engine is live. Nets created inside `fn` are not session-owned.
+  /// Do not submit-and-wait from inside `fn` (the engine would deadlock
+  /// against you).
+  void withRouter(const std::function<void(jroute::Router&)>& fn);
+
+  /// Stop accepting requests, drain the queue, join engine and workers.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  // --- Introspection -----------------------------------------------------------
+
+  ServiceStats stats() const;
+  size_t queueDepth() const { return queue_.size(); }
+  std::vector<NodeId> netsOf(uint64_t sessionId) const;
+  const xcvsim::Fabric& fabric() const { return *fabric_; }
+
+ private:
+  struct PlanJob {
+    Request* req = nullptr;
+    uint32_t owner = 0;
+    Plan plan;
+  };
+  /// Shared state of one parallel planning phase.
+  struct PlanPhase {
+    std::vector<PlanJob>* jobs = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> workersDone{0};
+  };
+  /// Tile-space bounding box used for the disjointness partition.
+  struct Box {
+    int r0 = 1 << 20, c0 = 1 << 20, r1 = -(1 << 20), c1 = -(1 << 20);
+    void add(xcvsim::RowCol rc);
+    void expand(int margin);
+    bool intersects(const Box& o) const;
+  };
+
+  void engineLoop();
+  void workerLoop();
+  void runJobs(PlanPhase& phase, Planner& planner);
+  void processBatch(std::vector<Request>& reqs);
+  /// Resolve + ownership/validity precheck shared by both phases. Returns
+  /// a rejection, or nullopt with the request's bounding box in `box`.
+  std::optional<RouteResult> precheckRoute(const Request& req, Box& box);
+  /// Commit a found plan. False = fall back to the serialized path.
+  bool commitPlan(Request& req, PlanJob& job, RouteResult& out);
+  RouteResult executeSerial(Request& req);
+  RouteResult executeUnroute(Request& req);
+  /// Free the whole net driven from `source` (must be a net source node).
+  void unrouteNode(NodeId source);
+  void registerNet(NodeId source, uint64_t sessionId);
+  void finish(Request& req, RouteResult res);
+
+  xcvsim::Fabric* fabric_;
+  ServiceOptions opts_;
+  jroute::Router router_;
+  ClaimMap claims_;
+  BoundedQueue<Request> queue_;
+
+  // Serializes fabric mutation and exclusive access (withRouter) against
+  // batch processing.
+  std::mutex fabricMu_;
+
+  // Net ownership registry: net source node -> owning session.
+  mutable std::mutex ownerMu_;
+  std::unordered_map<NodeId, uint64_t> netOwner_;
+
+  // Parallel planning pool. The engine participates, so `workers_` holds
+  // planThreads - 1 threads.
+  std::vector<std::thread> workers_;
+  std::unique_ptr<Planner> enginePlanner_;
+  std::mutex workMu_;
+  std::condition_variable workCv_, doneCv_;
+  uint64_t workGen_ = 0;         // guarded by workMu_
+  PlanPhase* phase_ = nullptr;   // guarded by workMu_
+  bool shutdownWorkers_ = false; // guarded by workMu_
+
+  std::thread engine_;
+  std::atomic<uint64_t> nextRequestId_{1};
+  std::atomic<uint64_t> nextSessionId_{1};
+  bool stopped_ = false;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> submitted{0}, accepted{0}, rejected{0},
+        overloaded{0}, deadlineExpired{0}, contention{0}, unroutable{0},
+        batches{0}, parallelPlanned{0}, serialRouted{0}, planFallbacks{0},
+        claimRetries{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace jrsvc

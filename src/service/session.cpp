@@ -1,0 +1,75 @@
+#include "service/session.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "service/service.h"
+
+namespace jrsvc {
+
+std::future<RouteResult> Session::routeAsync(const EndPoint& source,
+                                             const EndPoint& sink,
+                                             Clock::time_point deadline) {
+  return svc_->submit(Op::kRouteP2P, id_, {source}, {sink}, deadline);
+}
+
+std::future<RouteResult> Session::fanoutAsync(const EndPoint& source,
+                                              std::vector<EndPoint> sinks,
+                                              Clock::time_point deadline) {
+  return svc_->submit(Op::kRouteFanout, id_, {source}, std::move(sinks),
+                      deadline);
+}
+
+std::future<RouteResult> Session::busAsync(std::vector<EndPoint> sources,
+                                           std::vector<EndPoint> sinks,
+                                           Clock::time_point deadline) {
+  return svc_->submit(Op::kRouteBus, id_, std::move(sources),
+                      std::move(sinks), deadline);
+}
+
+std::future<RouteResult> Session::unrouteAsync(const EndPoint& source,
+                                               Clock::time_point deadline) {
+  return svc_->submit(Op::kUnroute, id_, {source}, {}, deadline);
+}
+
+RouteResult Session::route(const EndPoint& source, const EndPoint& sink) {
+  return routeAsync(source, sink).get();
+}
+
+RouteResult Session::fanout(const EndPoint& source,
+                            std::vector<EndPoint> sinks) {
+  return fanoutAsync(source, std::move(sinks)).get();
+}
+
+RouteResult Session::bus(std::vector<EndPoint> sources,
+                         std::vector<EndPoint> sinks) {
+  return busAsync(std::move(sources), std::move(sinks)).get();
+}
+
+RouteResult Session::unroute(const EndPoint& source) {
+  return unrouteAsync(source).get();
+}
+
+void Session::connect(std::span<const EndPoint> sources,
+                      std::span<const EndPoint> sinks) {
+  const RouteResult res =
+      bus(std::vector<EndPoint>(sources.begin(), sources.end()),
+          std::vector<EndPoint>(sinks.begin(), sinks.end()));
+  if (res.ok()) return;
+  switch (res.reason) {
+    case Reject::kContention:
+      throw xcvsim::ContentionError(res.detail, xcvsim::kInvalidNode);
+    case Reject::kUnroutable:
+      throw xcvsim::UnroutableError(res.detail);
+    default:
+      throw xcvsim::JRouteError("service rejected bus (" +
+                                std::string(rejectName(res.reason)) +
+                                "): " + res.detail);
+  }
+}
+
+std::vector<xcvsim::NodeId> Session::ownedNets() const {
+  return svc_->netsOf(id_);
+}
+
+}  // namespace jrsvc

@@ -1,0 +1,74 @@
+#include "service/txn.h"
+
+#include <utility>
+
+namespace jrsvc {
+
+RouteTxn::RouteTxn(Router& router)
+    : router_(&router), prev_(router.setObserver(this)) {}
+
+RouteTxn::~RouteTxn() {
+  if (active_) rollback();
+}
+
+void RouteTxn::route(const EndPoint& source, const EndPoint& sink) {
+  router_->route(source, sink);
+}
+
+void RouteTxn::route(const EndPoint& source, std::span<const EndPoint> sinks) {
+  router_->route(source, sinks);
+}
+
+void RouteTxn::routeBus(std::span<const EndPoint> sources,
+                        std::span<const EndPoint> sinks) {
+  router_->route(sources, sinks);
+}
+
+NetId RouteTxn::ensureNet(const EndPoint& source, std::string name) {
+  return router_->ensureNet(source, std::move(name));
+}
+
+void RouteTxn::commitChain(std::span<const EdgeId> chain, NetId net) {
+  router_->commitChain(chain, net);
+}
+
+void RouteTxn::commit() {
+  detach();
+  ons_.clear();
+  nets_.clear();
+}
+
+void RouteTxn::rollback() {
+  detach();
+  xcvsim::Fabric& fabric = router_->fabric();
+  // Chains were applied source-side first, so reverse order is leaf-first
+  // within every chain and detaches later branches before the trunks they
+  // hang from.
+  for (auto it = ons_.rbegin(); it != ons_.rend(); ++it) {
+    fabric.turnOff(*it);
+  }
+  ons_.clear();
+  // With all staged PIPs off, each staged net is back to its bare source.
+  for (auto it = nets_.rbegin(); it != nets_.rend(); ++it) {
+    fabric.removeNet(*it);
+  }
+  nets_.clear();
+}
+
+void RouteTxn::detach() {
+  if (!active_) return;
+  active_ = false;
+  router_->setObserver(prev_);
+}
+
+void RouteTxn::netCreated(NetId net, NodeId source) {
+  nets_.push_back(net);
+  if (prev_) prev_->netCreated(net, source);
+}
+
+void RouteTxn::pipTurnedOn(EdgeId e, NetId net) {
+  ons_.push_back(e);
+  if (prev_) prev_->pipTurnedOn(e, net);
+}
+
+}  // namespace jrsvc

@@ -1,0 +1,84 @@
+// Transactional net operations.
+//
+// A RouteTxn turns the paper's exception-on-contention model (section 3.4)
+// into all-or-nothing semantics: route calls staged through the txn apply
+// to the fabric immediately, but every durable effect (PIPs turned on,
+// nets created) is journaled via the router's RouteObserver hook, and
+// rollback() replays the journal backwards. A fanout that fails on its
+// fourth sink therefore leaves the fabric bit-identical to the pre-txn
+// state instead of half-routed — the property the service relies on to
+// return clean Rejected outcomes, and that users of the raw API get by
+// wrapping multi-step routes themselves.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/router.h"
+
+namespace jrsvc {
+
+using jroute::EndPoint;
+using jroute::Router;
+using xcvsim::EdgeId;
+using xcvsim::NetId;
+using xcvsim::NodeId;
+
+class RouteTxn : public jroute::RouteObserver {
+ public:
+  /// Installs itself as the router's observer; chains to (and restores) any
+  /// previously installed observer.
+  explicit RouteTxn(Router& router);
+
+  /// An open txn rolls back on destruction.
+  ~RouteTxn() override;
+
+  RouteTxn(const RouteTxn&) = delete;
+  RouteTxn& operator=(const RouteTxn&) = delete;
+
+  // --- Staged operations -----------------------------------------------------
+  // Exceptions from the router propagate unchanged; already-staged effects
+  // stay staged, so the caller may retry, commit the partial work, or roll
+  // everything back.
+
+  void route(const EndPoint& source, const EndPoint& sink);
+  void route(const EndPoint& source, std::span<const EndPoint> sinks);
+  void routeBus(std::span<const EndPoint> sources,
+                std::span<const EndPoint> sinks);
+
+  /// Net for `source`, created with `name` (journaled) when new.
+  NetId ensureNet(const EndPoint& source, std::string name = {});
+
+  /// Turn on a pre-planned edge chain as part of `net` (service commit
+  /// path; the chain must start on a node of `net`).
+  void commitChain(std::span<const EdgeId> chain, NetId net);
+
+  // --- Resolution -------------------------------------------------------------
+
+  /// Keep everything staged and detach from the router.
+  void commit();
+
+  /// Undo everything staged (reverse order) and detach from the router.
+  void rollback();
+
+  bool active() const { return active_; }
+  size_t stagedPips() const { return ons_.size(); }
+  size_t stagedNets() const { return nets_.size(); }
+
+  // --- RouteObserver ----------------------------------------------------------
+
+  void netCreated(NetId net, NodeId source) override;
+  void pipTurnedOn(EdgeId e, NetId net) override;
+
+ private:
+  void detach();
+
+  Router* router_;
+  jroute::RouteObserver* prev_;
+  std::vector<EdgeId> ons_;   // in application order
+  std::vector<NetId> nets_;   // in creation order
+  bool active_ = true;
+};
+
+}  // namespace jrsvc

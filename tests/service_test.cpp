@@ -1,0 +1,355 @@
+// Tests for the concurrent routing service: transactional net operations
+// (all-or-nothing rollback, bit-identical fabric), sessions and net
+// ownership, the batched request engine (parallel planning + serialized
+// conflicts), backpressure, and deadlines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "arch/wires.h"
+#include "bitstream/bitstream.h"
+#include "service/service.h"
+#include "service/txn.h"
+
+namespace jrsvc {
+namespace {
+
+using jroute::EndPoint;
+using jroute::Pin;
+using jroute::Router;
+using xcvsim::Bitstream;
+using xcvsim::clbIn;
+using xcvsim::Fabric;
+using xcvsim::Graph;
+using xcvsim::JRouteError;
+using xcvsim::kInvalidNode;
+using xcvsim::PipTable;
+using xcvsim::S0_YQ;
+using xcvsim::S1_YQ;
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static const Graph& graph() {
+    static Graph g{xcvsim::xcv50()};
+    return g;
+  }
+  static const PipTable& table() {
+    static PipTable t{xcvsim::ArchDb{xcvsim::xcv50()}};
+    return t;
+  }
+
+  ServiceTest() : fabric_(graph(), table()) {}
+
+  Fabric fabric_;
+};
+
+// --- Transactional net operations (RouteTxn) -----------------------------------
+
+TEST_F(ServiceTest, TxnCommitKeepsRoutes) {
+  Router router(fabric_);
+  RouteTxn txn(router);
+  txn.route(EndPoint(Pin(3, 3, S1_YQ)), EndPoint(Pin(4, 5, clbIn(2))));
+  EXPECT_GT(txn.stagedPips(), 0u);
+  EXPECT_EQ(txn.stagedNets(), 1u);
+  txn.commit();
+  EXPECT_FALSE(txn.active());
+  EXPECT_FALSE(router.trace(EndPoint(Pin(3, 3, S1_YQ))).hops.empty());
+  fabric_.checkConsistency();
+}
+
+TEST_F(ServiceTest, TxnRollbackRestoresBitIdenticalFabric) {
+  Router router(fabric_);
+  // A pre-existing net the txn must not disturb — it occupies a sink the
+  // fanout below will fail on.
+  router.route(EndPoint(Pin(8, 8, S1_YQ)), EndPoint(Pin(8, 10, clbIn(2))));
+  const size_t netsBefore = fabric_.liveNetCount();
+  const Bitstream before = fabric_.jbits().bitstream();
+
+  RouteTxn txn(router);
+  bool threw = false;
+  try {
+    // First sink routes fine; the second is owned by the other net, so the
+    // fanout fails mid-way with the fabric half-routed.
+    const std::vector<EndPoint> sinks{EndPoint(Pin(6, 8, clbIn(1))),
+                                      EndPoint(Pin(8, 10, clbIn(2)))};
+    txn.route(EndPoint(Pin(6, 6, S1_YQ)), std::span<const EndPoint>(sinks));
+  } catch (const JRouteError&) {
+    threw = true;
+  }
+  ASSERT_TRUE(threw);
+  EXPECT_GT(txn.stagedPips(), 0u);  // the partial work is staged...
+  txn.rollback();
+
+  // ...and rollback leaves the device bit-identical to the pre-txn state.
+  EXPECT_TRUE(before == fabric_.jbits().bitstream());
+  EXPECT_EQ(fabric_.liveNetCount(), netsBefore);
+  EXPECT_FALSE(router.trace(EndPoint(Pin(8, 8, S1_YQ))).hops.empty());
+  fabric_.checkConsistency();
+}
+
+TEST_F(ServiceTest, TxnDestructorRollsBackOpenWork) {
+  Router router(fabric_);
+  const Bitstream before = fabric_.jbits().bitstream();
+  {
+    RouteTxn txn(router);
+    txn.route(EndPoint(Pin(3, 3, S1_YQ)), EndPoint(Pin(4, 5, clbIn(2))));
+    // No commit: leaving scope must undo everything.
+  }
+  EXPECT_TRUE(before == fabric_.jbits().bitstream());
+  EXPECT_EQ(fabric_.liveNetCount(), 0u);
+}
+
+// --- Sessions and ownership -----------------------------------------------------
+
+TEST_F(ServiceTest, SessionsOwnTheirNets) {
+  ServiceOptions opts;
+  opts.manualPump = true;
+  opts.planThreads = 1;
+  RoutingService svc(fabric_, opts);
+  Session alice = svc.openSession();
+  Session bob = svc.openSession();
+
+  auto routed = alice.routeAsync(EndPoint(Pin(3, 3, S1_YQ)),
+                                 EndPoint(Pin(4, 5, clbIn(2))));
+  svc.pumpOnce();
+  ASSERT_TRUE(routed.get().ok());
+  ASSERT_EQ(alice.ownedNets().size(), 1u);
+
+  // Bob may neither unroute nor extend Alice's net.
+  auto steal = bob.unrouteAsync(EndPoint(Pin(3, 3, S1_YQ)));
+  auto extend = bob.fanoutAsync(EndPoint(Pin(3, 3, S1_YQ)),
+                                {EndPoint(Pin(5, 6, clbIn(3)))});
+  svc.pumpOnce();
+  EXPECT_EQ(steal.get().reason, Reject::kNotOwner);
+  EXPECT_EQ(extend.get().reason, Reject::kNotOwner);
+
+  // Alice extends and unroutes her own net freely.
+  auto grow = alice.fanoutAsync(EndPoint(Pin(3, 3, S1_YQ)),
+                                {EndPoint(Pin(5, 6, clbIn(3)))});
+  svc.pumpOnce();
+  EXPECT_TRUE(grow.get().ok());
+  auto freed = alice.unrouteAsync(EndPoint(Pin(3, 3, S1_YQ)));
+  svc.pumpOnce();
+  EXPECT_TRUE(freed.get().ok());
+  EXPECT_EQ(fabric_.liveNetCount(), 0u);
+}
+
+TEST_F(ServiceTest, CloseSessionUnroutesOwnedNets) {
+  ServiceOptions opts;
+  opts.manualPump = true;
+  opts.planThreads = 1;
+  RoutingService svc(fabric_, opts);
+  Session s = svc.openSession();
+  auto f1 = s.routeAsync(EndPoint(Pin(3, 3, S1_YQ)),
+                         EndPoint(Pin(4, 5, clbIn(2))));
+  auto f2 = s.routeAsync(EndPoint(Pin(8, 8, S0_YQ)),
+                         EndPoint(Pin(9, 10, clbIn(1))));
+  svc.pumpOnce();
+  ASSERT_TRUE(f1.get().ok());
+  ASSERT_TRUE(f2.get().ok());
+  EXPECT_EQ(fabric_.liveNetCount(), 2u);
+
+  svc.closeSession(s);
+  EXPECT_FALSE(s.valid());
+  EXPECT_EQ(fabric_.liveNetCount(), 0u);
+  fabric_.checkConsistency();
+}
+
+// --- Backpressure and deadlines --------------------------------------------------
+
+TEST_F(ServiceTest, FullQueueShedsLoadWithOverloaded) {
+  ServiceOptions opts;
+  opts.manualPump = true;
+  opts.planThreads = 1;
+  opts.queueCapacity = 2;
+  RoutingService svc(fabric_, opts);
+  Session s = svc.openSession();
+
+  auto a = s.routeAsync(EndPoint(Pin(3, 3, S1_YQ)),
+                        EndPoint(Pin(4, 5, clbIn(2))));
+  auto b = s.routeAsync(EndPoint(Pin(8, 8, S0_YQ)),
+                        EndPoint(Pin(9, 10, clbIn(1))));
+  auto c = s.routeAsync(EndPoint(Pin(12, 12, S1_YQ)),
+                        EndPoint(Pin(13, 14, clbIn(3))));
+
+  // The overflow request resolves immediately, without queueing.
+  ASSERT_EQ(c.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const RouteResult shed = c.get();
+  EXPECT_EQ(shed.outcome, Outcome::kRejected);
+  EXPECT_EQ(shed.reason, Reject::kOverloaded);
+
+  svc.pumpOnce();
+  EXPECT_TRUE(a.get().ok());
+  EXPECT_TRUE(b.get().ok());
+  EXPECT_EQ(svc.stats().overloaded, 1u);
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineIsShedBeforeRouting) {
+  ServiceOptions opts;
+  opts.manualPump = true;
+  opts.planThreads = 1;
+  RoutingService svc(fabric_, opts);
+  Session s = svc.openSession();
+
+  const auto past = Clock::now() - std::chrono::seconds(1);
+  auto stale = s.routeAsync(EndPoint(Pin(3, 3, S1_YQ)),
+                            EndPoint(Pin(4, 5, clbIn(2))), past);
+  svc.pumpOnce();
+  EXPECT_EQ(stale.get().reason, Reject::kDeadlineExpired);
+  EXPECT_EQ(fabric_.liveNetCount(), 0u);
+  EXPECT_EQ(svc.stats().deadlineExpired, 1u);
+}
+
+TEST_F(ServiceTest, StoppedServiceRejectsWithShutdown) {
+  ServiceOptions opts;
+  opts.manualPump = true;
+  opts.planThreads = 1;
+  RoutingService svc(fabric_, opts);
+  Session s = svc.openSession();
+  svc.stop();
+  auto late = s.routeAsync(EndPoint(Pin(3, 3, S1_YQ)),
+                           EndPoint(Pin(4, 5, clbIn(2))));
+  EXPECT_EQ(late.get().reason, Reject::kShutdown);
+}
+
+// --- Batched engine: buses, fallbacks -------------------------------------------
+
+TEST_F(ServiceTest, BusRoutesThroughService) {
+  ServiceOptions opts;
+  opts.manualPump = true;
+  opts.planThreads = 1;
+  RoutingService svc(fabric_, opts);
+  Session s = svc.openSession();
+
+  std::vector<EndPoint> sources, sinks;
+  for (int i = 0; i < 4; ++i) {
+    sources.push_back(EndPoint(Pin(4 + i, 6, S1_YQ)));
+    sinks.push_back(EndPoint(Pin(4 + i, 9, clbIn(2))));
+  }
+  auto fut = s.busAsync(sources, sinks);
+  svc.pumpOnce();
+  ASSERT_TRUE(fut.get().ok());
+  EXPECT_EQ(fabric_.liveNetCount(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    svc.withRouter([&](Router& r) {
+      EXPECT_FALSE(r.trace(EndPoint(Pin(4 + i, 6, S1_YQ))).hops.empty());
+    });
+  }
+  EXPECT_EQ(s.ownedNets().size(), 4u);
+}
+
+TEST_F(ServiceTest, WidthMismatchedBusIsBadArgument) {
+  ServiceOptions opts;
+  opts.manualPump = true;
+  opts.planThreads = 1;
+  RoutingService svc(fabric_, opts);
+  Session s = svc.openSession();
+  auto fut = s.busAsync({EndPoint(Pin(4, 6, S1_YQ))},
+                        {EndPoint(Pin(4, 9, clbIn(2))),
+                         EndPoint(Pin(5, 9, clbIn(2)))});
+  svc.pumpOnce();
+  EXPECT_EQ(fut.get().reason, Reject::kBadArgument);
+}
+
+// --- Concurrency: disjoint parallel clients plus one conflicting -----------------
+
+TEST(ServiceConcurrencyTest, DisjointSessionsRouteInParallelConflictsResolve) {
+  static Graph graph{xcvsim::xcv300()};
+  static PipTable table{xcvsim::ArchDb{xcvsim::xcv300()}};
+  Fabric fabric(graph, table);
+
+  constexpr int kThreads = 4;   // disjoint clients, one row band each
+  constexpr int kPerThread = 6; // nets per client
+  ServiceOptions opts;
+  opts.batchSize = 16;
+  RoutingService svc(fabric, opts);
+
+  std::vector<Session> sessions;
+  for (int t = 0; t < kThreads + 1; ++t) sessions.push_back(svc.openSession());
+
+  std::atomic<int> escapes{0};
+  std::vector<std::vector<RouteResult>> results(
+      static_cast<size_t>(kThreads) + 1);
+
+  const auto srcOf = [](int t, int k) {
+    return Pin(2 + t * 7, 4 + k * 3, S1_YQ);
+  };
+  const auto sinkOf = [](int t, int k) {
+    return Pin(3 + t * 7, 6 + k * 3, clbIn(2));
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        for (int k = 0; k < kPerThread; ++k) {
+          results[static_cast<size_t>(t)].push_back(
+              sessions[static_cast<size_t>(t)].route(
+                  EndPoint(srcOf(t, k)), EndPoint(sinkOf(t, k))));
+        }
+      } catch (...) {
+        escapes.fetch_add(1);
+      }
+    });
+  }
+  // The conflicting client races thread 0 for its exact sink pins.
+  threads.emplace_back([&] {
+    try {
+      for (int k = 0; k < kPerThread; ++k) {
+        results[kThreads].push_back(sessions[kThreads].route(
+            EndPoint(Pin(4, 4 + k * 3, S0_YQ)), EndPoint(sinkOf(0, k))));
+      }
+    } catch (...) {
+      escapes.fetch_add(1);
+    }
+  });
+  for (std::thread& th : threads) th.join();
+  svc.stop();
+
+  // Contention never escapes as an exception (section 3.4 made clean).
+  EXPECT_EQ(escapes.load(), 0);
+
+  // Clients 1..3 touch nothing anyone else wants: all accepted.
+  for (int t = 1; t < kThreads; ++t) {
+    for (const RouteResult& r : results[static_cast<size_t>(t)]) {
+      EXPECT_TRUE(r.ok()) << "thread " << t << ": " << r.detail;
+    }
+  }
+  // Each contested sink went to exactly one of the two rivals.
+  for (int k = 0; k < kPerThread; ++k) {
+    const bool a = results[0][static_cast<size_t>(k)].ok();
+    const bool b = results[kThreads][static_cast<size_t>(k)].ok();
+    EXPECT_NE(a, b) << "sink " << k << " should have exactly one winner";
+    const RouteResult& loser =
+        a ? results[kThreads][static_cast<size_t>(k)]
+          : results[0][static_cast<size_t>(k)];
+    EXPECT_EQ(loser.reason, Reject::kContention);
+  }
+
+  // Every accepted net traces source-to-sink through the debug API.
+  size_t accepted = 0;
+  for (const auto& batch : results) {
+    for (const RouteResult& r : batch) {
+      if (!r.ok()) continue;
+      ++accepted;
+      ASSERT_NE(r.netSource, kInvalidNode);
+      const xcvsim::NodeInfo ni = graph.info(r.netSource);
+      svc.withRouter([&](Router& router) {
+        EXPECT_FALSE(
+            router.trace(EndPoint(Pin(ni.tile, ni.local))).hops.empty());
+      });
+    }
+  }
+  EXPECT_EQ(accepted, fabric.liveNetCount());
+  fabric.checkConsistency();
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.submitted, static_cast<uint64_t>((kThreads + 1) * kPerThread));
+  EXPECT_EQ(st.accepted + st.rejected, st.submitted);
+}
+
+}  // namespace
+}  // namespace jrsvc
