@@ -8,10 +8,18 @@
 // batched engine. Reported per mode: requests/second and p50/p99
 // submit-to-resolve latency, as a table and as one JSON line per mode.
 //
+// With JROUTE_DRC_PARANOID=1 in the environment both modes run the static
+// analyzer as they go — the service after every engine batch (its
+// ServiceOptions default picks the env var up), the serialized baseline
+// after every route (the per-txn analogue, bitstream decode skipped just
+// like the txn hook) — so the delta against a plain run is the price of
+// the oracle. The mode is echoed in the table header and JSON.
+//
 //   ./bench_service_throughput [producers] [reps]
 #include <future>
 #include <thread>
 
+#include "analysis/drc.h"
 #include "arch/wires.h"
 #include "bench/bench_util.h"
 #include "service/service.h"
@@ -61,11 +69,19 @@ jroute::RouterOptions mazeOnly() {
 RunResult runSerialized(Fabric& fabric, const std::vector<Req>& work) {
   fabric.clear();
   jroute::Router router(fabric, mazeOnly());
+  const bool paranoid = jrdrc::paranoidEnabled();
   RunResult res;
   const auto t0 = std::chrono::steady_clock::now();
   for (const Req& rq : work) {
     const auto s0 = std::chrono::steady_clock::now();
     router.route(EndPoint(rq.src), EndPoint(rq.sink));
+    if (paranoid) {
+      jrdrc::DrcInput in;
+      in.fabric = &fabric;
+      in.router = &router;
+      in.checkBitstream = false;  // same policy as the per-txn hook
+      jrdrc::enforce(in, "serialized route");
+    }
     const auto s1 = std::chrono::steady_clock::now();
     res.latenciesMs.push_back(
         std::chrono::duration<double, std::milli>(s1 - s0).count());
@@ -153,7 +169,8 @@ void report(const char* mode, const RunResult& r, size_t reqs,
       .kv("p50_ms", jrbench::percentile(r.latenciesMs, 50))
       .kv("p99_ms", jrbench::percentile(r.latenciesMs, 99))
       .kv("accepted", r.accepted)
-      .kv("parallel_planned", r.parallel);
+      .kv("parallel_planned", r.parallel)
+      .kv("drc_paranoid", static_cast<uint64_t>(jrdrc::paranoidEnabled()));
   std::printf("%s\n", j.str());
 }
 
@@ -169,8 +186,9 @@ int main(int argc, char** argv) {
   jrbench::Device& dev = jrbench::sharedDevice(xcv300());
   const std::vector<Req> work = makeDisjointWork(dev.graph);
   std::printf("service throughput: %zu tile-disjoint p2p routes on %s, "
-              "%u producer(s), %u core(s)\n\n",
-              work.size(), std::string(xcv300().name).c_str(), producers, hw);
+              "%u producer(s), %u core(s), DRC paranoid %s\n\n",
+              work.size(), std::string(xcv300().name).c_str(), producers, hw,
+              jrdrc::paranoidEnabled() ? "on" : "off");
 
   RunResult bestSerial, bestSvc;
   for (int rep = 0; rep < reps; ++rep) {

@@ -23,12 +23,15 @@
 //   save <file> | netlist <file>           bitfile / netlist export
 //   service on|off|stats                   drive routes through the
 //                                          concurrent routing service
+//   drc [json]                             run the static analyzer over
+//                                          the current design
 //   quit
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 
+#include "analysis/drc.h"
 #include "bitstream/bitfile.h"
 #include "core/router.h"
 #include "rtr/boardscope.h"
@@ -182,6 +185,25 @@ bool handle(Session& s, const std::string& line) {
                 << st.claimRetries << "\n";
     } else {
       throw ArgumentError("service on|off|stats");
+    }
+  } else if (cmd == "drc") {
+    std::string fmt;
+    ls >> fmt;
+    jrdrc::DrcReport rep;
+    if (s.svc) {
+      // Service on: the analyzer sees every view — the engine's router,
+      // the session-ownership table, the claim map, and the bitstream.
+      rep = s.svc->runDrc();
+    } else {
+      jrdrc::DrcInput in;
+      in.fabric = s.fabric.get();
+      in.router = s.router.get();
+      rep = jrdrc::runDrc(in);
+    }
+    if (fmt == "json") {
+      std::cout << rep.json() << "\n";
+    } else {
+      std::cout << rep.summary();
     }
   } else if (cmd == "rev") {
     s.router->reverseUnroute(EndPoint(readPin(ls)));

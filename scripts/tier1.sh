@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer
-# pass over the concurrent routing service.
+# pass over the concurrent routing service, then an ASan+UBSan pass over
+# the service and DRC analyzer tests.
 #
 #   scripts/tier1.sh [jobs]
 #
-# The TSAN build lives in build-tsan/ so it never pollutes the regular
-# build tree; it runs only the service/concurrency tests (the rest of the
-# suite is single-threaded and already covered by the first pass).
+# The sanitizer builds live in build-tsan/ and build-asan/ so they never
+# pollute the regular build tree; they run only the service/concurrency
+# and DRC tests (the rest of the suite is single-threaded and already
+# covered by the first pass).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +26,14 @@ cmake -B build-tsan -S . -DJROUTE_TSAN=ON -DJROUTE_BUILD_BENCH=OFF \
 cmake --build build-tsan -j "$JOBS" --target jr_tests
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'Service'
+
+echo
+echo "== tier 1: ASan+UBSan pass (routing service + DRC analyzer) =="
+cmake -B build-asan -S . -DJROUTE_ASAN=ON -DJROUTE_UBSAN=ON \
+  -DJROUTE_BUILD_BENCH=OFF -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-asan -j "$JOBS" --target jr_tests
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+  -R 'Service|Drc'
 
 echo
 echo "tier 1: OK"

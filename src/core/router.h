@@ -130,6 +130,16 @@ class Router {
 
   /// Every port-involving connection made through this router.
   const std::vector<Connection>& connections() const { return connections_; }
+  size_t connectionCount() const { return connections_.size(); }
+
+  /// Drop every connection remembered after `mark` (a prior
+  /// connectionCount()). The transactional layer journals the count at
+  /// txn open and restores it on rollback, so a rolled-back port route
+  /// leaves no remembered connection behind. No-op when `mark` is not
+  /// smaller than the current count.
+  void truncateConnections(size_t mark) {
+    if (mark < connections_.size()) connections_.resize(mark);
+  }
 
   /// Re-execute every remembered connection that touches `port` (after a
   /// core replace/relocate has re-bound the port's pins).

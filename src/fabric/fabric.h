@@ -79,6 +79,10 @@ class Fabric {
   size_t usedNodeCount() const { return usedNodes_; }
   size_t onEdgeCount() const { return onEdges_; }
   size_t liveNetCount() const { return liveNets_; }
+  /// Exclusive upper bound of net ids ever created. Ids below it may name
+  /// dead nets — filter with netExists(). Lets offline analysis iterate
+  /// the net database without a separate registry.
+  size_t netCount() const { return nets_.size(); }
 
   /// Structural invariant check (tests): every claimed node is reachable
   /// from its net source over on-edges of the same net; driver bookkeeping
@@ -96,6 +100,10 @@ class Fabric {
     bool live = false;
   };
 
+  // Test-only backdoor (see below). Production code never mutates fabric
+  // state except through turnOn/turnOff/createNet/removeNet.
+  friend class FabricMutator;
+
   void writeThrough(EdgeId e, bool on);
   void releaseIfIdle(NodeId n);
 
@@ -109,6 +117,37 @@ class Fabric {
   size_t usedNodes_ = 0;
   size_t onEdges_ = 0;
   size_t liveNets_ = 0;
+};
+
+/// TEST-ONLY raw access to fabric internals, used by the DRC mutation
+/// harness (tests/drc_test.cpp) to seed invariant violations the public
+/// API is designed to make impossible — an analyzer that has never seen a
+/// violation proves nothing. None of these maintain bookkeeping or write
+/// through to the bitstream; that is the point.
+class FabricMutator {
+ public:
+  explicit FabricMutator(Fabric& f) : f_(&f) {}
+
+  /// Flip the raw on-bit of an edge; no counters, no write-through.
+  void setEdgeOnBit(EdgeId e, bool on) {
+    if (on) {
+      f_->onBits_[e >> 6] |= uint64_t{1} << (e & 63);
+    } else {
+      f_->onBits_[e >> 6] &= ~(uint64_t{1} << (e & 63));
+    }
+  }
+  void setNodeNet(NodeId n, NetId net) { f_->nodeNet_[n] = net; }
+  void setNodeDriver(NodeId n, EdgeId e) { f_->nodeDriver_[n] = e; }
+  void setOnOut(NodeId n, uint16_t count) { f_->onOut_[n] = count; }
+  void setUsedNodes(size_t v) { f_->usedNodes_ = v; }
+  void setOnEdges(size_t v) { f_->onEdges_ = v; }
+  void setNetNodes(NetId net, size_t v) { f_->nets_[net].nodes = v; }
+  size_t usedNodes() const { return f_->usedNodes_; }
+  size_t onEdges() const { return f_->onEdges_; }
+  size_t netNodes(NetId net) const { return f_->nets_[net].nodes; }
+
+ private:
+  Fabric* f_;
 };
 
 }  // namespace xcvsim

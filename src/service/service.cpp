@@ -355,6 +355,15 @@ void RoutingService::processBatch(std::vector<Request>& reqs) {
   for (Request* req : serial) {
     finish(*req, executeSerial(*req));
   }
+
+  // Paranoid oracle: the batch is quiescent — every txn has committed or
+  // rolled back and every planning claim must have been released — so the
+  // full static rule set must hold. The per-batch pass includes the
+  // bitstream decode the per-txn checks skip.
+  if (opts_.drcParanoid) {
+    std::vector<std::pair<NodeId, uint64_t>> owners;
+    jrdrc::enforce(drcInput(/*includeBitstream=*/true, owners), "batch");
+  }
 }
 
 void RoutingService::workerLoop() {
@@ -513,6 +522,28 @@ void RoutingService::unrouteNode(NodeId source) {
     fabric_->turnOff(it->edge);
   }
   if (fabric_->netSource(net) == source) fabric_->removeNet(net);
+}
+
+jrdrc::DrcInput RoutingService::drcInput(
+    bool includeBitstream,
+    std::vector<std::pair<NodeId, uint64_t>>& ownersStorage) const {
+  jrdrc::DrcInput in;
+  in.fabric = fabric_;
+  in.router = &router_;
+  in.claimOwner = [this](NodeId n) { return claims_.ownerOf(n); };
+  in.checkBitstream = includeBitstream;
+  {
+    std::lock_guard lk(ownerMu_);
+    ownersStorage.assign(netOwner_.begin(), netOwner_.end());
+  }
+  in.netOwners = &ownersStorage;
+  return in;
+}
+
+jrdrc::DrcReport RoutingService::runDrc(bool includeBitstream) {
+  std::lock_guard lk(fabricMu_);
+  std::vector<std::pair<NodeId, uint64_t>> owners;
+  return jrdrc::runDrc(drcInput(includeBitstream, owners));
 }
 
 ServiceStats RoutingService::stats() const {

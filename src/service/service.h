@@ -24,8 +24,10 @@
 #include <optional>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "analysis/drc.h"
 #include "core/router.h"
 #include "service/claim_map.h"
 #include "service/planner.h"
@@ -52,6 +54,15 @@ struct ServiceOptions {
   bool manualPump = false;
   /// How long an idle engine waits for the first request of a batch.
   std::chrono::milliseconds drainWait{100};
+  /// Run the full static DRC (src/analysis) after every processed batch —
+  /// the quiescent point where all txns have committed or rolled back and
+  /// every planning claim must be released — and throw JRouteError on any
+  /// violation. Defaults to the JROUTE_DRC_PARANOID environment variable,
+  /// so the whole test suite and bench_service_throughput can be run with
+  /// the analyzer continuously cross-checking the concurrent engine.
+  /// Costly (O(fabric) per batch); a violation escaping the engine thread
+  /// terminates the process, which is the point of paranoid mode.
+  bool drcParanoid = jrdrc::paranoidEnabled();
   /// Options for the underlying router and the parallel planners.
   jroute::RouterOptions router{};
 };
@@ -99,6 +110,12 @@ class RoutingService {
 
   // --- Introspection -----------------------------------------------------------
 
+  /// Run the static DRC over the service's full state — fabric, router
+  /// connection memory, session-ownership table, and claim map — with the
+  /// engine excluded (takes the fabric lock). `includeBitstream` adds the
+  /// O(config) frame-decode cross-check.
+  jrdrc::DrcReport runDrc(bool includeBitstream = true);
+
   ServiceStats stats() const;
   size_t queueDepth() const { return queue_.size(); }
   std::vector<NodeId> netsOf(uint64_t sessionId) const;
@@ -135,6 +152,12 @@ class RoutingService {
   bool commitPlan(Request& req, PlanJob& job, RouteResult& out);
   RouteResult executeSerial(Request& req);
   RouteResult executeUnroute(Request& req);
+  /// DrcInput over the full service state; caller must hold fabricMu_ (or
+  /// otherwise exclude the engine). The ownership snapshot is written into
+  /// `ownersStorage`, which must outlive the returned input.
+  jrdrc::DrcInput drcInput(
+      bool includeBitstream,
+      std::vector<std::pair<NodeId, uint64_t>>& ownersStorage) const;
   /// Free the whole net driven from `source` (must be a net source node).
   void unrouteNode(NodeId source);
   void registerNet(NodeId source, uint64_t sessionId);

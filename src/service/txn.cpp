@@ -2,10 +2,30 @@
 
 #include <utility>
 
+#include "analysis/drc.h"
+
 namespace jrsvc {
 
+namespace {
+
+/// JROUTE_DRC_PARANOID: cross-check the fabric against the static rule
+/// set at every txn resolution point. The bitstream decode is skipped
+/// here (it is O(config size)); the service's per-batch pass covers it.
+void paranoidCheck(Router& router, const char* when) {
+  if (!jrdrc::paranoidEnabled()) return;
+  jrdrc::DrcInput in;
+  in.fabric = &router.fabric();
+  in.router = &router;
+  in.checkBitstream = false;
+  jrdrc::enforce(in, when);
+}
+
+}  // namespace
+
 RouteTxn::RouteTxn(Router& router)
-    : router_(&router), prev_(router.setObserver(this)) {}
+    : router_(&router),
+      prev_(router.setObserver(this)),
+      connMark_(router.connectionCount()) {}
 
 RouteTxn::~RouteTxn() {
   if (active_) rollback();
@@ -36,6 +56,7 @@ void RouteTxn::commit() {
   detach();
   ons_.clear();
   nets_.clear();
+  paranoidCheck(*router_, "txn commit");
 }
 
 void RouteTxn::rollback() {
@@ -53,6 +74,9 @@ void RouteTxn::rollback() {
     fabric.removeNet(*it);
   }
   nets_.clear();
+  // Port-connection memory: forget connections recorded under this txn.
+  router_->truncateConnections(connMark_);
+  paranoidCheck(*router_, "txn rollback");
 }
 
 void RouteTxn::detach() {

@@ -78,6 +78,10 @@ class RouteTxn : public jroute::RouteObserver {
   jroute::RouteObserver* prev_;
   std::vector<EdgeId> ons_;   // in application order
   std::vector<NetId> nets_;   // in creation order
+  /// Router::connectionCount() at txn open. Staged routes may append
+  /// port-connection memory; rollback truncates back to this mark so a
+  /// rolled-back port route leaves no remembered connection behind.
+  size_t connMark_;
   bool active_ = true;
 };
 

@@ -7,12 +7,14 @@
 //  P2  the bitstream always equals the fabric (decode(config) == on-PIPs);
 //  P3  unroute restores the exact prior configuration, bit for bit;
 //  P4  trace/reverseTrace agree with each other and with the net;
-//  P5  no call sequence can ever produce a doubly-driven segment.
+//  P5  no call sequence can ever produce a doubly-driven segment;
+//  P6  every sequence ends in a state the static DRC analyzer accepts.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <unordered_set>
 
+#include "analysis/drc.h"
 #include "bitstream/decoder.h"
 #include "common/rng.h"
 #include "core/router.h"
@@ -79,6 +81,16 @@ class PropertyTest : public ::testing::TestWithParam<Param> {
     }
   }
 
+  /// P6: the full static rule set (fabric + router views) accepts the
+  /// current state, whatever sequence of operations produced it.
+  void expectDrcClean() {
+    jrdrc::DrcInput in;
+    in.fabric = &fabric_;
+    in.router = &router_;
+    const jrdrc::DrcReport report = jrdrc::runDrc(in);
+    EXPECT_TRUE(report.clean()) << report.summary();
+  }
+
   Graph& graph_;
   xcvsim::Fabric fabric_;
   Router router_;
@@ -123,6 +135,7 @@ TEST_P(PropertyTest, RandomRouteUnrouteInterleavingKeepsInvariants) {
   }
 
   expectBitstreamMatchesFabric();  // P2
+  expectDrcClean();                // P6 at peak occupancy
 
   // Tear everything down; the device must be factory-blank again.
   for (const Pin& src : liveSources) router_.unroute(EndPoint(src));
@@ -130,6 +143,7 @@ TEST_P(PropertyTest, RandomRouteUnrouteInterleavingKeepsInvariants) {
   EXPECT_EQ(fabric_.onEdgeCount(), 0u);
   EXPECT_EQ(fabric_.usedNodeCount(), 0u);
   EXPECT_EQ(fabric_.jbits().bitstream().popcount(), 0u);  // P3 global
+  expectDrcClean();  // P6 on the blank device
 }
 
 TEST_P(PropertyTest, UnrouteRestoresExactConfiguration) {
@@ -152,6 +166,7 @@ TEST_P(PropertyTest, UnrouteRestoresExactConfiguration) {
   EXPECT_FALSE(snapshot == fabric_.jbits().bitstream());
   router_.unroute(EndPoint(extra[0].src));
   EXPECT_TRUE(snapshot == fabric_.jbits().bitstream());  // P3
+  expectDrcClean();                                      // P6
 }
 
 TEST_P(PropertyTest, TraceAndReverseTraceAgreeOnEveryNet) {
@@ -181,6 +196,7 @@ TEST_P(PropertyTest, TraceAndReverseTraceAgreeOnEveryNet) {
       }
     }
   }
+  expectDrcClean();  // P6
 }
 
 TEST_P(PropertyTest, NoSequenceProducesDoubleDrivers) {
@@ -220,6 +236,7 @@ TEST_P(PropertyTest, NoSequenceProducesDoubleDrivers) {
     ASSERT_LE(drivers, 1) << graph_.nodeName(n);
   }
   (void)contentions;
+  expectDrcClean();  // P6 even after adversarial raw PIP attempts
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/drc.h"
 #include "arch/wires.h"
 #include "bitstream/bitstream.h"
 #include "service/service.h"
@@ -107,6 +108,7 @@ TEST_F(ServiceTest, TxnDestructorRollsBackOpenWork) {
 TEST_F(ServiceTest, SessionsOwnTheirNets) {
   ServiceOptions opts;
   opts.manualPump = true;
+  opts.drcParanoid = true;  // full static DRC after every pumped batch
   opts.planThreads = 1;
   RoutingService svc(fabric_, opts);
   Session alice = svc.openSession();
@@ -140,6 +142,7 @@ TEST_F(ServiceTest, SessionsOwnTheirNets) {
 TEST_F(ServiceTest, CloseSessionUnroutesOwnedNets) {
   ServiceOptions opts;
   opts.manualPump = true;
+  opts.drcParanoid = true;  // full static DRC after every pumped batch
   opts.planThreads = 1;
   RoutingService svc(fabric_, opts);
   Session s = svc.openSession();
@@ -163,6 +166,7 @@ TEST_F(ServiceTest, CloseSessionUnroutesOwnedNets) {
 TEST_F(ServiceTest, FullQueueShedsLoadWithOverloaded) {
   ServiceOptions opts;
   opts.manualPump = true;
+  opts.drcParanoid = true;  // full static DRC after every pumped batch
   opts.planThreads = 1;
   opts.queueCapacity = 2;
   RoutingService svc(fabric_, opts);
@@ -190,6 +194,7 @@ TEST_F(ServiceTest, FullQueueShedsLoadWithOverloaded) {
 TEST_F(ServiceTest, ExpiredDeadlineIsShedBeforeRouting) {
   ServiceOptions opts;
   opts.manualPump = true;
+  opts.drcParanoid = true;  // full static DRC after every pumped batch
   opts.planThreads = 1;
   RoutingService svc(fabric_, opts);
   Session s = svc.openSession();
@@ -206,6 +211,7 @@ TEST_F(ServiceTest, ExpiredDeadlineIsShedBeforeRouting) {
 TEST_F(ServiceTest, StoppedServiceRejectsWithShutdown) {
   ServiceOptions opts;
   opts.manualPump = true;
+  opts.drcParanoid = true;  // full static DRC after every pumped batch
   opts.planThreads = 1;
   RoutingService svc(fabric_, opts);
   Session s = svc.openSession();
@@ -220,6 +226,7 @@ TEST_F(ServiceTest, StoppedServiceRejectsWithShutdown) {
 TEST_F(ServiceTest, BusRoutesThroughService) {
   ServiceOptions opts;
   opts.manualPump = true;
+  opts.drcParanoid = true;  // full static DRC after every pumped batch
   opts.planThreads = 1;
   RoutingService svc(fabric_, opts);
   Session s = svc.openSession();
@@ -244,6 +251,7 @@ TEST_F(ServiceTest, BusRoutesThroughService) {
 TEST_F(ServiceTest, WidthMismatchedBusIsBadArgument) {
   ServiceOptions opts;
   opts.manualPump = true;
+  opts.drcParanoid = true;  // full static DRC after every pumped batch
   opts.planThreads = 1;
   RoutingService svc(fabric_, opts);
   Session s = svc.openSession();
@@ -265,6 +273,7 @@ TEST(ServiceConcurrencyTest, DisjointSessionsRouteInParallelConflictsResolve) {
   constexpr int kPerThread = 6; // nets per client
   ServiceOptions opts;
   opts.batchSize = 16;
+  opts.drcParanoid = true;  // analyzer cross-checks every engine batch
   RoutingService svc(fabric, opts);
 
   std::vector<Session> sessions;
@@ -345,6 +354,11 @@ TEST(ServiceConcurrencyTest, DisjointSessionsRouteInParallelConflictsResolve) {
   }
   EXPECT_EQ(accepted, fabric.liveNetCount());
   fabric.checkConsistency();
+
+  // Final offline pass with every view wired up (ownership, claim map,
+  // bitstream): the concurrent run must leave zero analyzer findings.
+  const jrdrc::DrcReport report = svc.runDrc();
+  EXPECT_TRUE(report.clean()) << report.summary();
 
   const ServiceStats st = svc.stats();
   EXPECT_EQ(st.submitted, static_cast<uint64_t>((kThreads + 1) * kPerThread));
