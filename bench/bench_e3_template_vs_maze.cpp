@@ -69,6 +69,17 @@ int main() {
                 static_cast<unsigned long long>(tf.visits), mz.ms,
                 static_cast<unsigned long long>(mz.visits),
                 mz.ms / (tf.ms > 0 ? tf.ms : 1e-9));
+    jrbench::JsonWriter j;
+    j.kv("bench", std::string("e3_template_vs_maze"))
+        .kv("nets", static_cast<uint64_t>(kNets))
+        .kv("distance", static_cast<uint64_t>(d))
+        .kv("template_ms", tf.ms)
+        .kv("template_hits", tf.hits)
+        .kv("template_visits", tf.visits)
+        .kv("maze_ms", mz.ms)
+        .kv("maze_visits", mz.visits)
+        .kv("speedup", mz.ms / (tf.ms > 0 ? tf.ms : 1e-9));
+    jrbench::appendRunRecord(j);
   }
   std::printf("\nclaim check: templates win decisively up to ~16 tiles and "
               "lose beyond it (failed long templates thrash while the "

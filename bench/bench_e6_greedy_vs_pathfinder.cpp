@@ -75,6 +75,17 @@ int main() {
                 static_cast<double>(jrWires) /
                     static_cast<double>(pfRes.wirelength ? pfRes.wirelength
                                                          : 1));
+    jrbench::JsonWriter j;
+    j.kv("bench", std::string("e6_greedy_vs_pathfinder"))
+        .kv("nets", static_cast<uint64_t>(n))
+        .kv("jroute_ms", jrMs)
+        .kv("jroute_failed", static_cast<uint64_t>(failed))
+        .kv("jroute_wires", static_cast<uint64_t>(jrWires))
+        .kv("pathfinder_ms", pfMs)
+        .kv("pathfinder_iters", static_cast<uint64_t>(pfRes.iterations))
+        .kv("pathfinder_wires", static_cast<uint64_t>(pfRes.wirelength))
+        .kv("speedup", pfMs / (jrMs > 0 ? jrMs : 1e-9));
+    jrbench::appendRunRecord(j);
   }
   std::printf("\nclaim check: greedy run-time routing is dramatically "
               "faster; the quality gap (wl_cost > 1) is the price, which "

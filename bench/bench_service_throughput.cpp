@@ -22,6 +22,7 @@
 #include "analysis/drc.h"
 #include "arch/wires.h"
 #include "bench/bench_util.h"
+#include "obs/metrics.h"
 #include "service/service.h"
 
 using namespace xcvsim;
@@ -171,7 +172,17 @@ void report(const char* mode, const RunResult& r, size_t reqs,
       .kv("accepted", r.accepted)
       .kv("parallel_planned", r.parallel)
       .kv("drc_paranoid", static_cast<uint64_t>(jrdrc::paranoidEnabled()));
+  // Enqueue-to-resolve percentiles from the engine's own histogram
+  // (cumulative over the service reps; absent for the serialized
+  // baseline and under JROUTE_NO_TELEMETRY).
+  const jrobs::MetricsSnapshot snap = jrobs::registry().snapshot();
+  if (const jrobs::MetricSample* h = snap.find("service.request.latency_us");
+      std::string(mode) == "service" && h != nullptr && h->count > 0) {
+    j.kv("hist_p50_us", h->p50).kv("hist_p95_us", h->p95).kv("hist_p99_us",
+                                                             h->p99);
+  }
   std::printf("%s\n", j.str());
+  jrbench::appendRunRecord(j);
 }
 
 }  // namespace

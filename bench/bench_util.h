@@ -9,6 +9,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -82,6 +85,30 @@ class JsonWriter {
   }
   std::string body_, out_;
 };
+
+/// UTC wall-clock time, ISO 8601 (2026-08-06T12:34:56Z).
+inline std::string isoTimestamp() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// Append one finished JsonWriter as a run record to the shared bench
+/// log — JSONL, one record per line, BENCH_service.json in the current
+/// directory by default. $JROUTE_BENCH_RECORD overrides the path; setting
+/// it empty disables recording (scripts/bench_record.sh sets it to the
+/// repo-root file). A timestamp is appended to every record.
+inline void appendRunRecord(JsonWriter& j) {
+  const char* env = std::getenv("JROUTE_BENCH_RECORD");
+  const std::string path = env != nullptr ? env : "BENCH_service.json";
+  if (path.empty()) return;
+  j.kv("timestamp", isoTimestamp());
+  std::ofstream os(path, std::ios::app);
+  if (os) os << j.str() << "\n";
+}
 
 /// p-th percentile (0..100) of an unsorted sample, by nearest rank.
 inline double percentile(std::vector<double> xs, double p) {

@@ -25,6 +25,8 @@
 //                                          concurrent routing service
 //   drc [json]                             run the static analyzer over
 //                                          the current design
+//   stats [json|reset]                     telemetry registry snapshot
+//   trace start|stop|dump <file>           event tracing (Chrome JSON)
 //   quit
 #include <fstream>
 #include <iostream>
@@ -34,6 +36,8 @@
 #include "analysis/drc.h"
 #include "bitstream/bitfile.h"
 #include "core/router.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rtr/boardscope.h"
 #include "rtr/netlist.h"
 #include "rtr/report.h"
@@ -115,6 +119,64 @@ bool handle(Session& s, const std::string& line) {
     std::string name;
     ls >> name;
     std::cout << name << " = " << lookupWire(name) << "\n";
+    return true;
+  }
+  if (cmd == "stats") {
+    // Process-wide telemetry; going through the service refreshes its
+    // live gauges (queue depth) first.
+    std::string fmt;
+    ls >> fmt;
+    if (fmt == "reset") {
+      jrobs::registry().reset();
+      std::cout << "stats reset\n";
+      return true;
+    }
+    const jrobs::MetricsSnapshot snap =
+        s.svc ? s.svc->snapshotMetrics() : jrobs::registry().snapshot();
+    if (fmt == "json") {
+      std::cout << snap.json() << "\n";
+    } else {
+      std::cout << snap.text();
+    }
+    return true;
+  }
+  if (cmd == "trace") {
+    // `trace start|stop|dump <file>` drives the event tracer; a numeric
+    // first argument keeps the original net-print meaning.
+    std::string arg;
+    if (!(ls >> arg)) throw ArgumentError("trace start|stop|dump|<pin>");
+    if (arg == "start") {
+      jrobs::Tracer::instance().start();
+      std::cout << "tracing"
+                << (jrobs::compiledIn() ? "\n" : " (telemetry compiled out)\n");
+      return true;
+    }
+    if (arg == "stop") {
+      jrobs::Tracer::instance().stop();
+      std::cout << "trace stopped (" << jrobs::Tracer::instance().eventCount()
+                << " events)\n";
+      return true;
+    }
+    if (arg == "dump") {
+      std::string file;
+      if (!(ls >> file)) throw ArgumentError("trace dump <file>");
+      std::string err;
+      if (!jrobs::dumpTrace(file, &err)) throw ArgumentError(err);
+      std::cout << "wrote " << file << " ("
+                << jrobs::Tracer::instance().eventCount() << " events, "
+                << jrobs::Tracer::instance().droppedCount() << " dropped)\n";
+      return true;
+    }
+    if (!s.ready()) throw ArgumentError("run 'device <NAME>' first");
+    int r, c;
+    std::string w;
+    try {
+      r = std::stoi(arg);
+    } catch (const std::exception&) {
+      throw ArgumentError("trace start|stop|dump|<row> <col> <wire>");
+    }
+    if (!(ls >> c >> w)) throw ArgumentError("expected <row> <col> <wire>");
+    std::cout << renderNet(*s.router, EndPoint(Pin(r, c, lookupWire(w))));
     return true;
   }
   if (!s.ready()) throw ArgumentError("run 'device <NAME>' first");
@@ -208,8 +270,6 @@ bool handle(Session& s, const std::string& line) {
   } else if (cmd == "rev") {
     s.router->reverseUnroute(EndPoint(readPin(ls)));
     std::cout << "branch freed\n";
-  } else if (cmd == "trace") {
-    std::cout << renderNet(*s.router, EndPoint(readPin(ls)));
   } else if (cmd == "ison") {
     const Pin p = readPin(ls);
     std::cout << (s.router->isOn(p.rc.row, p.rc.col, p.wire) ? "yes" : "no")

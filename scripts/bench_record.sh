@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Run the record-producing benches and append their run records to
+# BENCH_service.json at the repo root (JSONL: one record per line, each
+# with an ISO-8601 timestamp — see jrbench::appendRunRecord).
+#
+#   scripts/bench_record.sh [build-dir]
+#
+# The build dir defaults to ./build and must already be configured and
+# built (scripts/tier1.sh does both).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+if [[ ! -d "$BUILD/bench" ]]; then
+  echo "error: $BUILD/bench not found — build first (scripts/tier1.sh)" >&2
+  exit 1
+fi
+
+export JROUTE_BENCH_RECORD="$PWD/BENCH_service.json"
+echo "recording to $JROUTE_BENCH_RECORD"
+
+"$BUILD/bench/bench_service_throughput" "${BENCH_PRODUCERS:-4}" "${BENCH_REPS:-3}"
+"$BUILD/bench/bench_e3_template_vs_maze"
+"$BUILD/bench/bench_e6_greedy_vs_pathfinder"
+
+echo "done: $(wc -l < "$JROUTE_BENCH_RECORD") record(s) in BENCH_service.json"

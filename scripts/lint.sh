@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Static lint over the concurrency-bearing layers (src/service, the core
-# router, and the DRC analyzer) using the checks pinned in .clang-tidy.
+# router, the DRC analyzer, and the telemetry subsystem) using the checks
+# pinned in .clang-tidy.
 #
 #   scripts/lint.sh [jobs]
 #
@@ -24,9 +25,10 @@ if [[ ! -f build/compile_commands.json ]]; then
   cmake -B build -S . >/dev/null
 fi
 
-FILES=$(ls src/service/*.cpp src/core/router.cpp src/analysis/*.cpp)
+FILES=$(ls src/service/*.cpp src/core/router.cpp src/analysis/*.cpp \
+           src/obs/*.cpp)
 
-echo "== lint: clang-tidy over service + router + analysis =="
+echo "== lint: clang-tidy over service + router + analysis + obs =="
 FAIL=0
 for f in $FILES; do
   echo "-- $f"

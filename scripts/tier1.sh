@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer
-# pass over the concurrent routing service, then an ASan+UBSan pass over
-# the service and DRC analyzer tests.
+# pass over the concurrent routing service and the telemetry subsystem,
+# then an ASan+UBSan pass over the service, DRC analyzer, and telemetry
+# tests, then a telemetry-compiled-out build (-DJROUTE_NO_TELEMETRY) to
+# prove the zero-overhead configuration still builds and passes.
 #
 #   scripts/tier1.sh [jobs]
 #
-# The sanitizer builds live in build-tsan/ and build-asan/ so they never
-# pollute the regular build tree; they run only the service/concurrency
-# and DRC tests (the rest of the suite is single-threaded and already
-# covered by the first pass).
+# The sanitizer and no-telemetry builds live in build-tsan/, build-asan/,
+# and build-notelem/ so they never pollute the regular build tree; the
+# sanitizer passes run only the concurrency-bearing tests (the rest of
+# the suite is single-threaded and already covered by the first pass).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,20 +22,32 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
-echo "== tier 1: ThreadSanitizer pass (routing service) =="
+echo "== tier 1: ThreadSanitizer pass (routing service + telemetry) =="
 cmake -B build-tsan -S . -DJROUTE_TSAN=ON -DJROUTE_BUILD_BENCH=OFF \
   -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "$JOBS" --target jr_tests
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'Service'
+  -R 'Service|Obs'
 
 echo
-echo "== tier 1: ASan+UBSan pass (routing service + DRC analyzer) =="
+echo "== tier 1: ASan+UBSan pass (service + DRC analyzer + telemetry) =="
 cmake -B build-asan -S . -DJROUTE_ASAN=ON -DJROUTE_UBSAN=ON \
   -DJROUTE_BUILD_BENCH=OFF -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$JOBS" --target jr_tests
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'Service|Drc'
+  -R 'Service|Drc|Obs'
+
+echo
+echo "== tier 1: telemetry-compiled-out build (JROUTE_NO_TELEMETRY) =="
+cmake -B build-notelem -S . -DJROUTE_NO_TELEMETRY=ON \
+  -DJROUTE_BUILD_BENCH=OFF -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-notelem -j "$JOBS" --target jr_tests
+ctest --test-dir build-notelem --output-on-failure -j "$JOBS" \
+  -R 'Service|Drc|Obs'
+
+echo
+echo "== tier 1: lint =="
+scripts/lint.sh "$JOBS"
 
 echo
 echo "tier 1: OK"

@@ -3,9 +3,12 @@
 #include <cstdlib>
 #include <queue>
 #include <sstream>
+#include <string>
 
 #include "bitstream/decoder.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace jrdrc {
 
@@ -476,6 +479,8 @@ DrcReport runDrc(const DrcInput& in) {
   if (in.fabric == nullptr) {
     throw xcvsim::ArgumentError("runDrc: no fabric to analyze");
   }
+  JR_TRACE_SCOPE("drc", "run");
+  jrobs::registry().counter("drc.runs").add();
   DrcReport report;
   const Graph& g = in.fabric->graph();
   report.nodesScanned = g.numNodes();
@@ -484,7 +489,15 @@ DrcReport runDrc(const DrcInput& in) {
   for (const Checker* c : allCheckers()) {
     if (!c->applicable(in)) continue;
     report.checkersRun.push_back(c->id());
+    const size_t before = report.violations.size();
+    const uint64_t t0 = jrobs::Tracer::instance().nowNs();
     c->run(in, report);
+    const uint64_t t1 = jrobs::Tracer::instance().nowNs();
+    const std::string rule = std::string("drc.rule.") + c->id();
+    jrobs::registry().histogram(rule + ".runtime_us").record((t1 - t0) / 1000);
+    jrobs::registry()
+        .counter(rule + ".violations")
+        .add(report.violations.size() - before);
   }
   return report;
 }

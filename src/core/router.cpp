@@ -5,6 +5,8 @@
 
 #include "arch/wires.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "router/path_engine.h"
 #include "router/template_engine.h"
 #include "router/template_lib.h"
@@ -41,6 +43,38 @@ Pin sourcePinOf(const EndPoint& ep) {
     throw ArgumentError("port '" + ep.port().name() + "' has no bound pins");
   }
   return pins.front();
+}
+
+/// Which API level resolved each call (the paper's six route levels plus
+/// the unrouter), and how each auto-routed sink was satisfied. The
+/// per-sink counters are the template-hit vs maze-fallback split that
+/// E3 measures offline, live.
+struct RouterMetrics {
+  jrobs::Counter& apiPip = jrobs::registry().counter("router.api.pip");
+  jrobs::Counter& apiPath = jrobs::registry().counter("router.api.path");
+  jrobs::Counter& apiTemplate =
+      jrobs::registry().counter("router.api.template");
+  jrobs::Counter& apiP2p = jrobs::registry().counter("router.api.p2p");
+  jrobs::Counter& apiFanout = jrobs::registry().counter("router.api.fanout");
+  jrobs::Counter& apiBus = jrobs::registry().counter("router.api.bus");
+  jrobs::Counter& apiCommitChain =
+      jrobs::registry().counter("router.api.commit_chain");
+  jrobs::Counter& apiUnroute =
+      jrobs::registry().counter("router.api.unroute");
+  jrobs::Counter& apiReverseUnroute =
+      jrobs::registry().counter("router.api.reverse_unroute");
+  jrobs::Counter& sinkReuse = jrobs::registry().counter("router.sink.reuse");
+  jrobs::Counter& sinkTemplate =
+      jrobs::registry().counter("router.sink.lib_template");
+  jrobs::Counter& sinkMaze = jrobs::registry().counter("router.sink.maze");
+  jrobs::Counter& shapeReuseHits =
+      jrobs::registry().counter("router.bus.shape_reuse_hits");
+  jrobs::Counter& failed = jrobs::registry().counter("router.routes.failed");
+};
+
+RouterMetrics& metrics() {
+  static RouterMetrics m;
+  return m;
 }
 
 }  // namespace
@@ -124,6 +158,7 @@ void Router::turnOnChain(std::span<const EdgeId> chain, NetId net) {
 void Router::commitChain(std::span<const EdgeId> chain, NetId net) {
   turnOnChain(chain, net);
   ++stats_.routesCompleted;
+  metrics().apiCommitChain.add();
 }
 
 // --- Level 1: single connections ---------------------------------------------
@@ -153,6 +188,7 @@ void Router::routePip(const Pin& from, const Pin& to) {
   ++stats_.pipsTurnedOn;
   ++stats_.routesCompleted;
   stats_.lastMethod = RouteMethod::DirectPip;
+  metrics().apiPip.add();
   if (observer_ && !wasOn) observer_->pipTurnedOn(e, net);
 }
 
@@ -164,6 +200,7 @@ void Router::route(const Path& path) {
   turnOnChain(chain, netFor(first));
   ++stats_.routesCompleted;
   stats_.lastMethod = RouteMethod::Path;
+  metrics().apiPath.add();
 }
 
 // --- Level 3: user template ----------------------------------------------------
@@ -178,6 +215,7 @@ void Router::route(const Pin& start, LocalWire endWire, const Template& tmpl) {
   stats_.templateVisits += res.visited;
   if (!res.found) {
     ++stats_.routesFailed;
+    metrics().failed.add();
     throw UnroutableError(
         "no unused resource combination follows the template from " +
         pinName(start) + " to " + xcvsim::wireName(endWire));
@@ -186,6 +224,7 @@ void Router::route(const Pin& start, LocalWire endWire, const Template& tmpl) {
   turnOnChain(res.edges, net);
   ++stats_.routesCompleted;
   stats_.lastMethod = RouteMethod::UserTemplate;
+  metrics().apiTemplate.add();
 }
 
 // --- Levels 4-6: auto routing ----------------------------------------------------
@@ -209,6 +248,7 @@ void Router::routeSink(NetId net, NodeId srcNode, const Pin& srcPin,
     if (fabric_->netOf(sinkNode) == net) {
       stats_.lastMethod = RouteMethod::Reuse;  // already connected
       ++stats_.routesCompleted;
+      metrics().sinkReuse.add();
       return;
     }
     throw ContentionError("sink " + pinName(sinkPin) +
@@ -232,6 +272,8 @@ void Router::routeSink(NetId net, NodeId srcNode, const Pin& srcPin,
     }
     stats_.lastMethod = m;
     ++stats_.routesCompleted;
+    (m == RouteMethod::Maze ? metrics().sinkMaze : metrics().sinkTemplate)
+        .add();
   };
 
   // Bus regularity: try the previous bit's shape first.
@@ -243,6 +285,7 @@ void Router::routeSink(NetId net, NodeId srcNode, const Pin& srcPin,
     stats_.templateVisits += res.visited;
     if (res.found) {
       ++stats_.templateHits;
+      metrics().shapeReuseHits.add();
       commit(res.edges, RouteMethod::LibTemplate);
       return;
     }
@@ -272,6 +315,7 @@ void Router::routeSink(NetId net, NodeId srcNode, const Pin& srcPin,
   stats_.mazeVisits += res.visited;
   if (!res.found) {
     ++stats_.routesFailed;
+    metrics().failed.add();
     throw UnroutableError("auto route failed: " + pinName(srcPin) + " -> " +
                           pinName(sinkPin));
   }
@@ -288,10 +332,19 @@ void Router::recordConnection(const EndPoint& source,
 }
 
 void Router::route(const EndPoint& source, const EndPoint& sink) {
-  route(source, std::span<const EndPoint>(&sink, 1));
+  JR_TRACE_SCOPE("router", "p2p");
+  metrics().apiP2p.add();
+  routeAuto(source, std::span<const EndPoint>(&sink, 1));
 }
 
 void Router::route(const EndPoint& source, std::span<const EndPoint> sinks) {
+  JR_TRACE_SCOPE("router", "fanout");
+  metrics().apiFanout.add();
+  routeAuto(source, sinks);
+}
+
+void Router::routeAuto(const EndPoint& source,
+                       std::span<const EndPoint> sinks) {
   const Pin srcPin = sourcePinOf(source);
   const NodeId srcNode = pinNode(srcPin);
   const NetId net = netFor(srcNode);
@@ -336,6 +389,8 @@ int Router::tryRouteBus(std::span<const EndPoint> sources,
 
 int Router::routeBusImpl(std::span<const EndPoint> sources,
                          std::span<const EndPoint> sinks, bool lenient) {
+  JR_TRACE_SCOPE("router", "bus");
+  metrics().apiBus.add();
   if (sources.size() != sinks.size()) {
     throw ArgumentError("bus route: " + std::to_string(sources.size()) +
                         " sources vs " + std::to_string(sinks.size()) +
@@ -379,6 +434,7 @@ int Router::routeBusImpl(std::span<const EndPoint> sources,
 // --- Unrouter -------------------------------------------------------------------
 
 void Router::unroute(const EndPoint& source) {
+  metrics().apiUnroute.add();
   const Pin srcPin = sourcePinOf(source);
   const NodeId node = pinNode(srcPin);
   if (!fabric_->isUsed(node)) {
@@ -397,6 +453,7 @@ void Router::unroute(const EndPoint& source) {
 }
 
 void Router::reverseUnroute(const EndPoint& sink) {
+  metrics().apiReverseUnroute.add();
   const Pin sinkPin = sourcePinOf(sink);
   NodeId node = pinNode(sinkPin);
   if (!fabric_->isUsed(node)) {

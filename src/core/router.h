@@ -187,6 +187,10 @@ class Router {
                  std::vector<xcvsim::TemplateValue>* shapeOut);
   void recordConnection(const EndPoint& source,
                         std::span<const EndPoint> sinks);
+  /// Shared body of the auto p2p and fanout calls (levels 4-5); the
+  /// public overloads only differ in which API-level telemetry counter
+  /// they bump.
+  void routeAuto(const EndPoint& source, std::span<const EndPoint> sinks);
   std::vector<NodeId> treeOf(NetId net) const;
   int routeBusImpl(std::span<const EndPoint> sources,
                    std::span<const EndPoint> sinks, bool lenient);

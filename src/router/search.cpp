@@ -4,6 +4,8 @@
 #include <queue>
 
 #include "fabric/timing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace jroute {
 
@@ -29,6 +31,21 @@ bool isLong(const Graph& g, NodeId n) {
 /// and the hex rate is what keeps the search focused.
 DelayPs perTileBound(bool /*useLongLines*/) { return 120; }
 
+/// Search-effort telemetry, shared by the serial router and every
+/// concurrent planner thread (counters are relaxed atomics). Resolved
+/// once; hot paths pay one atomic add per *search*, not per node.
+struct MazeMetrics {
+  jrobs::Counter& runs = jrobs::registry().counter("router.maze.runs");
+  jrobs::Counter& visits = jrobs::registry().counter("router.maze.visits");
+  jrobs::Counter& found = jrobs::registry().counter("router.maze.found");
+  jrobs::Counter& failed = jrobs::registry().counter("router.maze.failed");
+};
+
+MazeMetrics& mazeMetrics() {
+  static MazeMetrics m;
+  return m;
+}
+
 }  // namespace
 
 MazeRouter::MazeRouter(const Graph& graph) : graph_(&graph) {
@@ -42,6 +59,22 @@ SearchResult MazeRouter::route(const Fabric& fabric, NetId net,
                                std::span<const NodeId> starts, NodeId goal,
                                const RouterOptions& opts) {
   (void)net;  // same-net segments are exactly the start set
+  // Telemetry stays in this thin wrapper: putting objects with cleanups
+  // (the trace scope, a metrics recorder) into the frame that holds the
+  // A* loop costs ~8% on maze-heavy workloads — the unwind paths bloat
+  // the loop's codegen. Out here they cost one add per search.
+  JR_TRACE_SCOPE("router", "maze");
+  const SearchResult result = search(fabric, starts, goal, opts);
+  MazeMetrics& m = mazeMetrics();
+  m.runs.add();
+  m.visits.add(result.visited);
+  (result.found ? m.found : m.failed).add();
+  return result;
+}
+
+SearchResult MazeRouter::search(const Fabric& fabric,
+                                std::span<const NodeId> starts, NodeId goal,
+                                const RouterOptions& opts) {
   const Graph& g = *graph_;
   SearchResult result;
   ++epoch_;

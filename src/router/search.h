@@ -44,6 +44,12 @@ class MazeRouter {
                      const RouterOptions& opts);
 
  private:
+  /// The search proper, free of telemetry: the trace scope and metric
+  /// objects live in route()'s frame, not here — their cleanups in the
+  /// same function as the A* loop measurably pessimize its codegen.
+  SearchResult search(const Fabric& fabric, std::span<const NodeId> starts,
+                      NodeId goal, const RouterOptions& opts);
+
   const xcvsim::Graph* graph_;
   std::vector<uint32_t> epochSeen_;
   std::vector<DelayPs> gCost_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace jroute {
 
 using xcvsim::Edge;
@@ -22,6 +24,20 @@ bool nodeMatchesWire(const Graph& g, NodeId n, LocalWire w) {
 }
 
 namespace {
+
+/// Walk-effort telemetry, shared by the serial router and the concurrent
+/// planners. One atomic add per walk, not per step.
+struct TemplateMetrics {
+  jrobs::Counter& walks = jrobs::registry().counter("router.template.walks");
+  jrobs::Counter& visits =
+      jrobs::registry().counter("router.template.visits");
+  jrobs::Counter& hits = jrobs::registry().counter("router.template.hits");
+};
+
+TemplateMetrics& templateMetrics() {
+  static TemplateMetrics m;
+  return m;
+}
 
 struct Walk {
   const Fabric& fabric;
@@ -120,6 +136,10 @@ TemplateResult followTemplate(const Fabric& fabric, NodeId start,
                                 ? start
                                 : walk.g.edge(walk.result.edges.back()).to;
   }
+  TemplateMetrics& m = templateMetrics();
+  m.walks.add();
+  m.visits.add(walk.result.visited);
+  if (walk.result.found) m.hits.add();
   return walk.result;
 }
 

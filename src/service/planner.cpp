@@ -5,6 +5,8 @@
 #include "arch/wires.h"
 #include "core/router.h"
 #include "fabric/trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "router/template_engine.h"
 #include "router/template_lib.h"
 
@@ -15,12 +17,25 @@ using jroute::Pin;
 using xcvsim::kInvalidNet;
 using xcvsim::kInvalidNode;
 using xcvsim::manhattan;
+using xcvsim::TemplateValue;
 using xcvsim::WireKind;
 using xcvsim::wireKind;
 
 namespace {
 
 constexpr int kMaxClaimRetries = 4;
+
+struct PlannerMetrics {
+  jrobs::Counter& claimConflicts =
+      jrobs::registry().counter("service.plan.claim_conflicts");
+  jrobs::Counter& shapeReuseHits =
+      jrobs::registry().counter("service.plan.shape_reuse_hits");
+};
+
+PlannerMetrics& plannerMetrics() {
+  static PlannerMetrics m;
+  return m;
+}
 
 std::string pinName(const xcvsim::Graph& g, const Pin& p) {
   const NodeId n = g.nodeAt(p.rc, p.wire);
@@ -42,6 +57,7 @@ Planner::Planner(const xcvsim::Fabric& fabric, ClaimMap& claims,
 }
 
 Plan Planner::plan(uint32_t owner, const Request& req) {
+  JR_TRACE_SCOPE("service", "plan");
   Plan plan;
   const auto fail = [&](Reject reason, std::string detail,
                         bool authoritative) -> Plan& {
@@ -64,9 +80,19 @@ Plan Planner::plan(uint32_t owner, const Request& req) {
     if (req.sources.size() != req.sinks.size()) {
       return fail(Reject::kBadArgument, "bus width mismatch", true);
     }
+    // Bus regularity (same policy as the serial router): bit 0 is planned
+    // first and exports its template shape; later bits of this request try
+    // that shape before consulting the library or the maze. All bits of
+    // one bus request run on this planner, so the hand-off is sequential
+    // even inside the batch's parallel phase.
+    std::vector<TemplateValue> shape, nextShape;
     for (size_t i = 0; i < req.sources.size(); ++i) {
       const auto sinkPins = req.sinks[i].resolve();
-      if (!planNet(owner, plan, req.sources[i], sinkPins)) return plan;
+      if (!planNet(owner, plan, req.sources[i], sinkPins,
+                   shape.empty() ? nullptr : &shape, &nextShape)) {
+        return plan;
+      }
+      shape = nextShape;  // maze-shaped bits clear the hint, like the router
     }
   } else {
     // P2P and fanout: one source, every sink pin on the same net.
@@ -81,7 +107,9 @@ Plan Planner::plan(uint32_t owner, const Request& req) {
 }
 
 bool Planner::planNet(uint32_t owner, Plan& plan, const EndPoint& source,
-                      const std::vector<Pin>& sinkPins) {
+                      const std::vector<Pin>& sinkPins,
+                      const std::vector<TemplateValue>* hint,
+                      std::vector<TemplateValue>* shapeOut) {
   const xcvsim::Graph& g = fabric_->graph();
   const auto fail = [&](Reject reason, std::string detail,
                         bool authoritative) {
@@ -122,6 +150,7 @@ bool Planner::planNet(uint32_t owner, Plan& plan, const EndPoint& source,
     if (!claims_->claim(srcNode, owner)) {
       // Another in-flight request wants the same source; let the
       // serialized path decide who wins.
+      plannerMetrics().claimConflicts.add();
       return fail(Reject::kContention,
                   "source " + g.nodeName(srcNode) + " claimed concurrently",
                   false);
@@ -130,18 +159,19 @@ bool Planner::planNet(uint32_t owner, Plan& plan, const EndPoint& source,
   }
 
   // Nearest sink first, reusing the growing tree — same policy as the
-  // serial router. (Bus shape hints are deliberately absent here: bits
-  // planned in parallel cannot see each other's shapes; the serialized
-  // path still exploits regularity.)
+  // serial router. The bus shape hint applies to every sink; only the
+  // first sink's chain is exported as the next bit's shape.
   std::vector<Pin> ordered = sinkPins;
   std::stable_sort(ordered.begin(), ordered.end(),
                    [&](const Pin& a, const Pin& b) {
                      return manhattan(srcPin.rc, a.rc) <
                             manhattan(srcPin.rc, b.rc);
                    });
+  if (shapeOut) shapeOut->clear();
   bool first = fresh;
   for (const Pin& sp : ordered) {
-    if (!planSink(owner, plan, net, srcPin, sp, treeNodes, first)) {
+    if (!planSink(owner, plan, net, srcPin, sp, treeNodes, first, hint,
+                  first ? shapeOut : nullptr)) {
       return false;
     }
     first = false;
@@ -152,7 +182,9 @@ bool Planner::planNet(uint32_t owner, Plan& plan, const EndPoint& source,
 
 bool Planner::planSink(uint32_t owner, Plan& plan, PlannedNet& net,
                        const Pin& srcPin, const Pin& sinkPin,
-                       std::vector<NodeId>& treeNodes, bool tryTemplates) {
+                       std::vector<NodeId>& treeNodes, bool tryTemplates,
+                       const std::vector<TemplateValue>* hint,
+                       std::vector<TemplateValue>* shapeOut) {
   const xcvsim::Graph& g = fabric_->graph();
   const auto fail = [&](Reject reason, std::string detail,
                         bool authoritative) {
@@ -177,6 +209,7 @@ bool Planner::planSink(uint32_t owner, Plan& plan, PlannedNet& net,
   }
   const uint32_t sinkOwner = claims_->ownerOf(sinkNode);
   if (sinkOwner != 0 && sinkOwner != owner) {
+    plannerMetrics().claimConflicts.add();
     return fail(Reject::kContention,
                 "sink " + g.nodeName(sinkNode) + " claimed concurrently",
                 false);
@@ -187,7 +220,19 @@ bool Planner::planSink(uint32_t owner, Plan& plan, PlannedNet& net,
   for (int attempt = 0; attempt < kMaxClaimRetries; ++attempt) {
     std::vector<EdgeId> chain;
     bool found = false;
-    if (tryTemplates && opts_.templateFirst &&
+    bool viaMaze = false;
+    // Bus regularity: try the previous bit's shape first.
+    if (hint && !hint->empty()) {
+      const jroute::TemplateResult res =
+          followTemplate(*fabric_, net.srcNode, *hint, sinkNode,
+                         xcvsim::kInvalidLocalWire, opts_);
+      if (res.found) {
+        plannerMetrics().shapeReuseHits.add();
+        chain = res.edges;
+        found = true;
+      }
+    }
+    if (!found && tryTemplates && opts_.templateFirst &&
         manhattan(srcPin.rc, sinkPin.rc) <= opts_.templateMaxDistance) {
       const bool srcIsOutput = wireKind(srcPin.wire) == WireKind::SliceOut;
       const bool dstIsInput = wireKind(sinkPin.wire) == WireKind::ClbIn;
@@ -215,10 +260,22 @@ bool Planner::planSink(uint32_t owner, Plan& plan, PlannedNet& net,
                     false);
       }
       chain = res.edges;
+      viaMaze = true;
     }
     if (!claimChain(owner, plan, chain)) {
       ++plan.retries;
+      plannerMetrics().claimConflicts.add();
       continue;  // lost a race; contested nodes are now blocked, re-search
+    }
+    if (shapeOut) {
+      // Like the serial router: template-shaped routes make good hints
+      // for the next bus bit; meandering maze paths are not propagated.
+      shapeOut->clear();
+      if (!viaMaze) {
+        for (const EdgeId e : chain) {
+          shapeOut->push_back(g.templateValueOf(g.edge(e).to, g.edge(e)));
+        }
+      }
     }
     for (const EdgeId e : chain) treeNodes.push_back(g.edge(e).to);
     net.edges.insert(net.edges.end(), chain.begin(), chain.end());

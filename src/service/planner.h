@@ -61,11 +61,18 @@ class Planner {
   Plan plan(uint32_t owner, const Request& req);
 
  private:
+  /// `hint`/`shapeOut` carry bus regularity between bits of one request,
+  /// mirroring Router::routeSink: bit 0 exports its template shape via
+  /// `shapeOut`, later bits try `hint` before the library and the maze.
   bool planNet(uint32_t owner, Plan& plan, const jroute::EndPoint& source,
-               const std::vector<jroute::Pin>& sinkPins);
+               const std::vector<jroute::Pin>& sinkPins,
+               const std::vector<xcvsim::TemplateValue>* hint = nullptr,
+               std::vector<xcvsim::TemplateValue>* shapeOut = nullptr);
   bool planSink(uint32_t owner, Plan& plan, PlannedNet& net,
                 const jroute::Pin& srcPin, const jroute::Pin& sinkPin,
-                std::vector<NodeId>& treeNodes, bool tryTemplates);
+                std::vector<NodeId>& treeNodes, bool tryTemplates,
+                const std::vector<xcvsim::TemplateValue>* hint = nullptr,
+                std::vector<xcvsim::TemplateValue>* shapeOut = nullptr);
   /// Claim `owner` on every target node of `chain`; on a lost race,
   /// releases this call's acquisitions and returns false.
   bool claimChain(uint32_t owner, Plan& plan, std::span<const EdgeId> chain);

@@ -69,6 +69,9 @@ struct Request {
   std::vector<jroute::EndPoint> sinks;
   /// Absolute deadline; default-constructed time_point means none.
   Clock::time_point deadline{};
+  /// Stamped by RoutingService::submit; the engine measures
+  /// enqueue-to-resolution latency from it (service.request.latency_us).
+  Clock::time_point enqueued{};
   std::promise<RouteResult> promise;
 
   bool hasDeadline() const { return deadline != Clock::time_point{}; }

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "fabric/trace.h"
+#include "obs/trace.h"
 #include "service/txn.h"
 
 namespace jrsvc {
@@ -52,6 +53,43 @@ RouteResult rejected(Reject reason, std::string detail) {
   r.reason = reason;
   r.detail = std::move(detail);
   return r;
+}
+
+/// Engine telemetry (registry mirror of AtomicStats plus the
+/// distributions AtomicStats cannot hold). One resolution per process.
+struct EngineMetrics {
+  jrobs::Counter& accepted = jrobs::registry().counter("service.accepted");
+  jrobs::Counter& rejected = jrobs::registry().counter("service.rejected");
+  jrobs::Counter& overloaded =
+      jrobs::registry().counter("service.rejected.overloaded");
+  jrobs::Counter& deadline =
+      jrobs::registry().counter("service.rejected.deadline");
+  jrobs::Counter& contention =
+      jrobs::registry().counter("service.rejected.contention");
+  jrobs::Counter& unroutable =
+      jrobs::registry().counter("service.rejected.unroutable");
+  jrobs::Counter& batches = jrobs::registry().counter("service.batches");
+  jrobs::Counter& parallelPlanned =
+      jrobs::registry().counter("service.parallel_planned");
+  jrobs::Counter& serialRouted =
+      jrobs::registry().counter("service.serial_routed");
+  jrobs::Counter& planFallbacks =
+      jrobs::registry().counter("service.plan_fallbacks");
+  jrobs::Counter& claimRetries =
+      jrobs::registry().counter("service.plan.claim_retries");
+  jrobs::Gauge& queueDepth =
+      jrobs::registry().gauge("service.queue.depth");
+  jrobs::Histogram& batchSize =
+      jrobs::registry().histogram("service.batch.size");
+  jrobs::Histogram& requestLatencyUs =
+      jrobs::registry().histogram("service.request.latency_us");
+  jrobs::Histogram& batchDrcUs =
+      jrobs::registry().histogram("service.batch.drc_us");
+};
+
+EngineMetrics& metrics() {
+  static EngineMetrics m;
+  return m;
 }
 
 }  // namespace
@@ -170,13 +208,18 @@ std::future<RouteResult> RoutingService::submit(
   req.sources = std::move(sources);
   req.sinks = std::move(sinks);
   req.deadline = deadline;
+  req.enqueued = Clock::now();
   std::future<RouteResult> fut = req.promise.get_future();
   stats_.submitted.fetch_add(1);
   if (!queue_.tryPush(std::move(req))) {
     // tryPush does not consume the request on failure.
     const bool closed = queue_.closed();
-    if (!closed) stats_.overloaded.fetch_add(1);
+    if (!closed) {
+      stats_.overloaded.fetch_add(1);
+      metrics().overloaded.add();
+    }
     stats_.rejected.fetch_add(1);
+    metrics().rejected.add();
     req.promise.set_value(rejected(
         closed ? Reject::kShutdown : Reject::kOverloaded,
         closed ? "service stopped" : "request queue at capacity"));
@@ -216,16 +259,34 @@ size_t RoutingService::pumpOnce() {
 }
 
 void RoutingService::finish(Request& req, RouteResult res) {
+  EngineMetrics& m = metrics();
   if (res.ok()) {
     stats_.accepted.fetch_add(1);
+    m.accepted.add();
   } else {
     stats_.rejected.fetch_add(1);
+    m.rejected.add();
     switch (res.reason) {
-      case Reject::kContention: stats_.contention.fetch_add(1); break;
-      case Reject::kUnroutable: stats_.unroutable.fetch_add(1); break;
-      case Reject::kDeadlineExpired: stats_.deadlineExpired.fetch_add(1); break;
+      case Reject::kContention:
+        stats_.contention.fetch_add(1);
+        m.contention.add();
+        break;
+      case Reject::kUnroutable:
+        stats_.unroutable.fetch_add(1);
+        m.unroutable.add();
+        break;
+      case Reject::kDeadlineExpired:
+        stats_.deadlineExpired.fetch_add(1);
+        m.deadline.add();
+        break;
       default: break;
     }
+  }
+  if (req.enqueued != Clock::time_point{}) {
+    m.requestLatencyUs.record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - req.enqueued)
+            .count()));
   }
   req.promise.set_value(std::move(res));
 }
@@ -269,7 +330,11 @@ std::optional<RouteResult> RoutingService::precheckRoute(const Request& req,
 }
 
 void RoutingService::processBatch(std::vector<Request>& reqs) {
+  JR_TRACE_SCOPE("service", "batch");
   stats_.batches.fetch_add(1);
+  metrics().batches.add();
+  metrics().batchSize.record(reqs.size());
+  metrics().queueDepth.set(static_cast<int64_t>(queue_.size()));
   const auto now = Clock::now();
 
   std::vector<PlanJob> jobs;
@@ -308,6 +373,7 @@ void RoutingService::processBatch(std::vector<Request>& reqs) {
 
   if (!jobs.empty()) {
     // Parallel phase: fabric frozen, workers + engine plan concurrently.
+    JR_TRACE_SCOPE("service", "plan.parallel");
     PlanPhase phase;
     phase.jobs = &jobs;
     const size_t numWorkers = workers_.size();
@@ -330,8 +396,10 @@ void RoutingService::processBatch(std::vector<Request>& reqs) {
     }
 
     // Commit phase: apply plans serially, in submission order.
+    JR_TRACE_SCOPE("service", "commit");
     for (PlanJob& job : jobs) {
       stats_.claimRetries.fetch_add(job.plan.retries);
+      metrics().claimRetries.add(job.plan.retries);
       if (job.plan.found) {
         RouteResult res;
         if (commitPlan(*job.req, job, res)) {
@@ -345,6 +413,7 @@ void RoutingService::processBatch(std::vector<Request>& reqs) {
         finish(*job.req, rejected(job.plan.reason, job.plan.detail));
       } else {
         stats_.planFallbacks.fetch_add(1);
+        metrics().planFallbacks.add();
         serial.push_back(job.req);
       }
     }
@@ -352,8 +421,11 @@ void RoutingService::processBatch(std::vector<Request>& reqs) {
 
   // Serialized phase: conflicting, fallen-back, and unroute requests, in
   // arrival order, against the post-commit fabric.
-  for (Request* req : serial) {
-    finish(*req, executeSerial(*req));
+  if (!serial.empty()) {
+    JR_TRACE_SCOPE("service", "serial");
+    for (Request* req : serial) {
+      finish(*req, executeSerial(*req));
+    }
   }
 
   // Paranoid oracle: the batch is quiescent — every txn has committed or
@@ -361,8 +433,12 @@ void RoutingService::processBatch(std::vector<Request>& reqs) {
   // full static rule set must hold. The per-batch pass includes the
   // bitstream decode the per-txn checks skip.
   if (opts_.drcParanoid) {
+    JR_TRACE_SCOPE("service", "drc.batch");
+    const uint64_t t0 = jrobs::Tracer::instance().nowNs();
     std::vector<std::pair<NodeId, uint64_t>> owners;
     jrdrc::enforce(drcInput(/*includeBitstream=*/true, owners), "batch");
+    metrics().batchDrcUs.record(
+        (jrobs::Tracer::instance().nowNs() - t0) / 1000);
   }
 }
 
@@ -420,6 +496,7 @@ bool RoutingService::commitPlan(Request& req, PlanJob& job,
     txn.commit();
     for (const NodeId src : newlyOwned) registerNet(src, req.sessionId);
     stats_.parallelPlanned.fetch_add(1);
+    metrics().parallelPlanned.add();
     out = accepted(firstSrc, /*parallel=*/true);
     return true;
   } catch (const JRouteError&) {
@@ -464,6 +541,7 @@ RouteResult RoutingService::executeSerial(Request& req) {
     txn.commit();
     for (const NodeId src : newlyOwned) registerNet(src, req.sessionId);
     stats_.serialRouted.fetch_add(1);
+    metrics().serialRouted.add();
     return accepted(srcNodes.front(), /*parallel=*/false);
   } catch (const ContentionError& e) {
     txn.rollback();
@@ -511,6 +589,7 @@ RouteResult RoutingService::executeUnroute(Request& req) {
     netOwner_.erase(netSrc);
   }
   stats_.serialRouted.fetch_add(1);
+  metrics().serialRouted.add();
   return accepted(netSrc, /*parallel=*/false);
 }
 
@@ -544,6 +623,11 @@ jrdrc::DrcReport RoutingService::runDrc(bool includeBitstream) {
   std::lock_guard lk(fabricMu_);
   std::vector<std::pair<NodeId, uint64_t>> owners;
   return jrdrc::runDrc(drcInput(includeBitstream, owners));
+}
+
+jrobs::MetricsSnapshot RoutingService::snapshotMetrics() const {
+  metrics().queueDepth.set(static_cast<int64_t>(queue_.size()));
+  return jrobs::registry().snapshot();
 }
 
 ServiceStats RoutingService::stats() const {

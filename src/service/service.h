@@ -29,6 +29,7 @@
 
 #include "analysis/drc.h"
 #include "core/router.h"
+#include "obs/metrics.h"
 #include "service/claim_map.h"
 #include "service/planner.h"
 #include "service/queue.h"
@@ -117,6 +118,12 @@ class RoutingService {
   jrdrc::DrcReport runDrc(bool includeBitstream = true);
 
   ServiceStats stats() const;
+
+  /// Point-in-time copy of the process-wide telemetry registry (router,
+  /// service, txn, and DRC metrics), with the service's live gauges
+  /// (queue depth) refreshed first. Safe to call while the engine runs.
+  jrobs::MetricsSnapshot snapshotMetrics() const;
+
   size_t queueDepth() const { return queue_.size(); }
   std::vector<NodeId> netsOf(uint64_t sessionId) const;
   const xcvsim::Fabric& fabric() const { return *fabric_; }

@@ -3,21 +3,39 @@
 #include <utility>
 
 #include "analysis/drc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace jrsvc {
 
 namespace {
+
+struct TxnMetrics {
+  jrobs::Counter& commits = jrobs::registry().counter("txn.commits");
+  jrobs::Counter& rollbacks = jrobs::registry().counter("txn.rollbacks");
+  jrobs::Histogram& paranoidUs =
+      jrobs::registry().histogram("txn.drc_paranoid_us");
+};
+
+TxnMetrics& txnMetrics() {
+  static TxnMetrics m;
+  return m;
+}
 
 /// JROUTE_DRC_PARANOID: cross-check the fabric against the static rule
 /// set at every txn resolution point. The bitstream decode is skipped
 /// here (it is O(config size)); the service's per-batch pass covers it.
 void paranoidCheck(Router& router, const char* when) {
   if (!jrdrc::paranoidEnabled()) return;
+  JR_TRACE_SCOPE("txn", "drc.paranoid");
+  const uint64_t t0 = jrobs::Tracer::instance().nowNs();
   jrdrc::DrcInput in;
   in.fabric = &router.fabric();
   in.router = &router;
   in.checkBitstream = false;
   jrdrc::enforce(in, when);
+  txnMetrics().paranoidUs.record(
+      (jrobs::Tracer::instance().nowNs() - t0) / 1000);
 }
 
 }  // namespace
@@ -56,6 +74,7 @@ void RouteTxn::commit() {
   detach();
   ons_.clear();
   nets_.clear();
+  txnMetrics().commits.add();
   paranoidCheck(*router_, "txn commit");
 }
 
@@ -76,6 +95,7 @@ void RouteTxn::rollback() {
   nets_.clear();
   // Port-connection memory: forget connections recorded under this txn.
   router_->truncateConnections(connMark_);
+  txnMetrics().rollbacks.add();
   paranoidCheck(*router_, "txn rollback");
 }
 

@@ -12,6 +12,7 @@
 #include "analysis/drc.h"
 #include "arch/wires.h"
 #include "bitstream/bitstream.h"
+#include "obs/metrics.h"
 #include "service/service.h"
 #include "service/txn.h"
 
@@ -28,7 +29,9 @@ using xcvsim::Graph;
 using xcvsim::JRouteError;
 using xcvsim::kInvalidNode;
 using xcvsim::PipTable;
+using xcvsim::S0_Y;
 using xcvsim::S0_YQ;
+using xcvsim::S0F1;
 using xcvsim::S1_YQ;
 
 class ServiceTest : public ::testing::Test {
@@ -246,6 +249,42 @@ TEST_F(ServiceTest, BusRoutesThroughService) {
     });
   }
   EXPECT_EQ(s.ownedNets().size(), 4u);
+}
+
+TEST_F(ServiceTest, BusRequestReusesBitShapeAcrossBits) {
+  // ROADMAP item (PR 3): within one parallel-planned bus request, bit 0
+  // exports its template shape and later bits refit it instead of
+  // re-searching. The hits are counted in service.plan.shape_reuse_hits.
+  const int64_t before =
+      jrobs::registry().snapshot().value("service.plan.shape_reuse_hits");
+
+  ServiceOptions opts;
+  opts.manualPump = true;
+  opts.drcParanoid = true;
+  opts.planThreads = 1;
+  RoutingService svc(fabric_, opts);
+  Session s = svc.openSession();
+
+  // Four bits with the identical displacement — the regular-bus case the
+  // shape hint exists for. Adjacent-east is a library-template shape, so
+  // bit 0 plans off the library and exports its chain; each bit sits on
+  // its own row, so the bits never contest each other's claims.
+  std::vector<EndPoint> sources, sinks;
+  for (int i = 0; i < 4; ++i) {
+    sources.push_back(EndPoint(Pin(4 + i, 6, S0_Y)));
+    sinks.push_back(EndPoint(Pin(4 + i, 7, S0F1)));
+  }
+  auto fut = s.busAsync(sources, sinks);
+  svc.pumpOnce();
+  const RouteResult res = fut.get();
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.routedInParallel);
+
+  const int64_t after =
+      jrobs::registry().snapshot().value("service.plan.shape_reuse_hits");
+  if (jrobs::compiledIn()) {
+    EXPECT_GE(after - before, 3);  // bits 1..3 each refit bit 0's shape
+  }
 }
 
 TEST_F(ServiceTest, WidthMismatchedBusIsBadArgument) {
