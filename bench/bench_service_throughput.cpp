@@ -171,7 +171,10 @@ void report(const char* mode, const RunResult& r, size_t reqs,
       .kv("p99_ms", jrbench::percentile(r.latenciesMs, 99))
       .kv("accepted", r.accepted)
       .kv("parallel_planned", r.parallel)
-      .kv("drc_paranoid", static_cast<uint64_t>(jrdrc::paranoidEnabled()));
+      .kv("drc_paranoid", static_cast<uint64_t>(jrdrc::paranoidEnabled()))
+      // E16 compares this build against -DJROUTE_NO_TELEMETRY: the flag
+      // tells the two record populations apart in BENCH_service.json.
+      .kv("telemetry", static_cast<uint64_t>(jrobs::compiledIn() ? 1 : 0));
   // Enqueue-to-resolve percentiles from the engine's own histogram
   // (cumulative over the service reps; absent for the serialized
   // baseline and under JROUTE_NO_TELEMETRY).

@@ -26,17 +26,29 @@
 //   drc [json]                             run the static analyzer over
 //                                          the current design
 //   stats [json|reset]                     telemetry registry snapshot
+//                                          (reset also clears trace rings,
+//                                          provenance, and heatmap counts)
 //   trace start|stop|dump <file>           event tracing (Chrome JSON)
+//   why <r> <c> <wire> [json]              provenance of the net holding
+//                                          a wire: who routed it, how
+//   explain last                           provenance of the newest commit
+//   heatmap [conflicts] [json]             per-region occupancy (or claim
+//                                          conflict) map
+//   flightrec arm <dir>|off|status         anomaly flight recorder
 //   quit
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 
+#include "analysis/congestion.h"
 #include "analysis/drc.h"
 #include "bitstream/bitfile.h"
 #include "core/router.h"
+#include "obs/flightrec.h"
+#include "obs/heatmap.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "rtr/boardscope.h"
 #include "rtr/netlist.h"
@@ -127,7 +139,16 @@ bool handle(Session& s, const std::string& line) {
     std::string fmt;
     ls >> fmt;
     if (fmt == "reset") {
+      // Reset scopes a measurement: zero the registry AND drop captured
+      // trace events, provenance records, flight-recorder events, and the
+      // claim-conflict heatmap, so everything observed afterwards belongs
+      // to the next run. The tracer's enabled flag and the flight
+      // recorder's arming are left alone.
       jrobs::registry().reset();
+      jrobs::Tracer::instance().clear();
+      jrobs::provenance().clear();
+      jrobs::flightRecorder().clear();
+      jrobs::claimConflictGrid().reset();
       std::cout << "stats reset\n";
       return true;
     }
@@ -177,6 +198,29 @@ bool handle(Session& s, const std::string& line) {
     }
     if (!(ls >> c >> w)) throw ArgumentError("expected <row> <col> <wire>");
     std::cout << renderNet(*s.router, EndPoint(Pin(r, c, lookupWire(w))));
+    return true;
+  }
+  if (cmd == "flightrec") {
+    std::string mode;
+    if (!(ls >> mode)) throw ArgumentError("flightrec arm <dir>|off|status");
+    jrobs::FlightRecorder& fr = jrobs::flightRecorder();
+    if (mode == "arm") {
+      std::string dir;
+      if (!(ls >> dir)) throw ArgumentError("flightrec arm <dir>");
+      fr.arm(dir);
+      std::cout << "flight recorder armed -> " << dir
+                << (jrobs::compiledIn() ? "\n" : " (telemetry compiled out)\n");
+    } else if (mode == "off") {
+      fr.disarm();
+      std::cout << "flight recorder disarmed\n";
+    } else if (mode == "status") {
+      std::cout << "flight recorder "
+                << (fr.armed() ? "armed -> " + fr.dir() : "disarmed") << " ("
+                << fr.eventCount() << " events, " << fr.anomalyCount()
+                << " anomalies)\n";
+    } else {
+      throw ArgumentError("flightrec arm <dir>|off|status");
+    }
     return true;
   }
   if (!s.ready()) throw ArgumentError("run 'device <NAME>' first");
@@ -267,6 +311,61 @@ bool handle(Session& s, const std::string& line) {
     } else {
       std::cout << rep.summary();
     }
+  } else if (cmd == "why") {
+    // Provenance of the net occupying a wire: which request routed it,
+    // through which engine, at what cost. `why <pin> json` for machines.
+    const Pin p = readPin(ls);
+    std::string fmt;
+    ls >> fmt;
+    const NodeId n = s.graph->nodeAt(p.rc, p.wire);
+    if (n == kInvalidNode) throw ArgumentError("pin names no wire");
+    if (!s.fabric->isUsed(n)) {
+      std::cout << s.graph->nodeName(n) << " is not routed\n";
+      return true;
+    }
+    const NodeId src = s.fabric->netSource(s.fabric->netOf(n));
+    const auto rec = jrobs::provenance().find(src);
+    if (!rec) {
+      std::cout << "no provenance for net '"
+                << s.fabric->netName(s.fabric->netOf(n)) << "'"
+                << (jrobs::compiledIn()
+                        ? " (routed outside the service, or record evicted)\n"
+                        : " (telemetry compiled out)\n");
+      return true;
+    }
+    std::cout << (fmt == "json" ? rec->json() + "\n" : rec->text());
+  } else if (cmd == "explain") {
+    std::string what, fmt;
+    ls >> what >> fmt;
+    if (what != "last") throw ArgumentError("explain last [json]");
+    const auto rec = jrobs::provenance().last();
+    if (!rec) {
+      std::cout << "no provenance records"
+                << (jrobs::compiledIn() ? "\n" : " (telemetry compiled out)\n");
+      return true;
+    }
+    std::cout << (fmt == "json" ? rec->json() + "\n" : rec->text());
+  } else if (cmd == "heatmap") {
+    // `heatmap [json]` renders committed-design density; `heatmap
+    // conflicts [json]` renders where parallel planners lost claim races.
+    std::string arg1, arg2;
+    ls >> arg1 >> arg2;
+    const bool conflicts = arg1 == "conflicts";
+    const bool json = arg1 == "json" || arg2 == "json";
+    jrobs::Heatmap h;
+    if (conflicts) {
+      h = s.svc ? s.svc->claimConflicts()
+                : jrobs::claimConflictGrid().snapshot("claim conflicts");
+      if (h.values.empty() && !jrobs::compiledIn()) {
+        std::cout << "claim-conflict heatmap requires telemetry "
+                     "(JROUTE_NO_TELEMETRY build)\n";
+        return true;
+      }
+    } else {
+      h = s.svc ? s.svc->occupancy()
+                : jrdrc::occupancyHeatmap(*s.fabric);
+    }
+    std::cout << (json ? h.json() + "\n" : h.ascii());
   } else if (cmd == "rev") {
     s.router->reverseUnroute(EndPoint(readPin(ls)));
     std::cout << "branch freed\n";

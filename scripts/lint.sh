@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Static lint over the concurrency-bearing layers (src/service, the core
-# router, the DRC analyzer, and the telemetry subsystem) using the checks
-# pinned in .clang-tidy.
+# router, the DRC analyzer including the congestion heatmap source, and
+# the telemetry subsystem including provenance, heatmap grid, and flight
+# recorder) using the checks pinned in .clang-tidy. The src/obs and
+# src/analysis globs below pick up new .cpp files automatically.
 #
 #   scripts/lint.sh [jobs]
 #

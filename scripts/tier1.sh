@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then a ThreadSanitizer
-# pass over the concurrent routing service and the telemetry subsystem,
-# then an ASan+UBSan pass over the service, DRC analyzer, and telemetry
-# tests, then a telemetry-compiled-out build (-DJROUTE_NO_TELEMETRY) to
-# prove the zero-overhead configuration still builds and passes.
+# Tier-1 verification: full build + test suite, then a bench smoke that
+# appends run records to BENCH_service.json and re-validates the JSONL,
+# then a forced-anomaly smoke that schema-checks a flight-recorder dump,
+# then a ThreadSanitizer pass over the concurrent routing service and
+# the telemetry subsystem, then an ASan+UBSan pass over the service, DRC
+# analyzer, and telemetry tests, then a telemetry-compiled-out build
+# (-DJROUTE_NO_TELEMETRY) to prove the zero-overhead configuration still
+# builds and passes.
 #
 #   scripts/tier1.sh [jobs]
 #
@@ -20,6 +23,38 @@ echo "== tier 1: build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "== tier 1: bench smoke + run record =="
+# Every verified build leaves a record trail: the cheap bench configuration
+# appends one JSONL line per mode to BENCH_service.json, and the RFC 8259
+# validator in tests/obs_test.cpp then re-reads the whole file, so a
+# malformed record fails the build that wrote it.
+BENCH_PRODUCERS="${BENCH_PRODUCERS:-2}" BENCH_REPS="${BENCH_REPS:-1}" \
+  scripts/bench_record.sh build
+JROUTE_BENCH_JSONL="$PWD/BENCH_service.json" \
+  ctest --test-dir build --output-on-failure -R 'ObsBenchRecord'
+
+echo
+echo "== tier 1: anomaly flight-recorder smoke =="
+# One synthetic contention through jrsh must dump a self-contained JSON
+# bundle (scripts/anomaly_smoke.jr documents the scenario). The gtest
+# suite validates bundle contents in-process; this pass proves the same
+# thing end to end through the shell binary and an external JSON parser.
+rm -rf build/flightrec-smoke && mkdir -p build/flightrec-smoke
+build/examples/jrsh scripts/anomaly_smoke.jr >/dev/null
+BUNDLE=build/flightrec-smoke/flightrec-1-contention.json
+if [[ ! -f "$BUNDLE" ]]; then
+  echo "anomaly smoke: expected bundle at $BUNDLE" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null; then
+  python3 -m json.tool "$BUNDLE" >/dev/null
+fi
+grep -q '"kind":"contention"' "$BUNDLE"
+grep -q '"events":\[' "$BUNDLE"
+grep -q '"metrics":{' "$BUNDLE"
+echo "anomaly bundle OK: $BUNDLE"
 
 echo
 echo "== tier 1: ThreadSanitizer pass (routing service + telemetry) =="

@@ -1,0 +1,43 @@
+#include "analysis/congestion.h"
+
+namespace jrdrc {
+
+using xcvsim::Fabric;
+using xcvsim::NodeId;
+using xcvsim::RowCol;
+
+jrobs::Heatmap occupancyHeatmap(const Fabric& fabric, int cellRows,
+                                int cellCols) {
+  if (cellRows <= 0) cellRows = 1;
+  if (cellCols <= 0) cellCols = 1;
+  const auto& graph = fabric.graph();
+  const auto& dev = graph.device();
+
+  jrobs::Heatmap h;
+  h.title = "fabric occupancy";
+  h.cellRows = cellRows;
+  h.cellCols = cellCols;
+  h.gridRows = (dev.rows + cellRows - 1) / cellRows;
+  h.gridCols = (dev.cols + cellCols - 1) / cellCols;
+  h.values.assign(
+      static_cast<size_t>(h.gridRows) * static_cast<size_t>(h.gridCols), 0);
+
+  const NodeId numNodes = graph.numNodes();
+  for (NodeId n = 0; n < numNodes; ++n) {
+    if (!fabric.isUsed(n)) continue;
+    const RowCol rc = graph.positionOf(n);
+    int r = rc.row, c = rc.col;
+    // positionOf clamps to the device for real segments; be defensive
+    // about synthetic nodes (globals report tile 0,0 anyway).
+    if (r < 0) r = 0;
+    if (c < 0) c = 0;
+    if (r >= dev.rows) r = dev.rows - 1;
+    if (c >= dev.cols) c = dev.cols - 1;
+    ++h.values[static_cast<size_t>(r / cellRows) *
+                   static_cast<size_t>(h.gridCols) +
+               static_cast<size_t>(c / cellCols)];
+  }
+  return h;
+}
+
+}  // namespace jrdrc

@@ -7,6 +7,7 @@
 
 #include "bitstream/decoder.h"
 #include "common/error.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -616,6 +617,12 @@ bool paranoidEnabled() {
 void enforce(const DrcInput& in, const char* when) {
   const DrcReport report = runDrc(in);
   if (report.clean()) return;
+  // Dump the post-mortem bundle before throwing: a paranoid-DRC violation
+  // escaping the engine thread terminates the process, so this is the last
+  // chance to capture the report, recent events, and a metrics snapshot.
+  jrobs::flightRecorder().anomaly("drc",
+                                  "DRC failed after " + std::string(when),
+                                  "{\"drc\":" + report.json() + "}");
   throw xcvsim::JRouteError("DRC failed after " + std::string(when) + ":\n" +
                             report.summary());
 }

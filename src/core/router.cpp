@@ -285,6 +285,7 @@ void Router::routeSink(NetId net, NodeId srcNode, const Pin& srcPin,
     stats_.templateVisits += res.visited;
     if (res.found) {
       ++stats_.templateHits;
+      ++stats_.shapeReuseHits;
       metrics().shapeReuseHits.add();
       commit(res.edges, RouteMethod::LibTemplate);
       return;

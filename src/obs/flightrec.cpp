@@ -1,0 +1,214 @@
+#include "obs/flightrec.h"
+
+#include "obs/jsonutil.h"
+#include "obs/metrics.h"
+
+#ifndef JROUTE_NO_TELEMETRY
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+#endif
+
+namespace jrobs {
+
+#ifndef JROUTE_NO_TELEMETRY
+
+namespace {
+
+std::string u64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+struct FlightMetrics {
+  Counter& anomalies = registry().counter("obs.flightrec.anomalies");
+  Counter& bundles = registry().counter("obs.flightrec.bundles_written");
+  Counter& notes = registry().counter("obs.flightrec.notes");
+};
+
+FlightMetrics& flightMetrics() {
+  static FlightMetrics m;
+  return m;
+}
+
+}  // namespace
+
+struct FlightRecorder::Impl {
+  mutable std::mutex mu;
+  std::vector<FlightEvent> ring{kRingCapacity};
+  size_t head = 0;    // next write slot
+  size_t count = 0;   // valid entries (<= kRingCapacity)
+  bool armed = false;
+  std::string dir;
+  uint64_t nextSeq = 1;
+  uint64_t anomalies = 0;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  uint64_t nowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+  }
+
+  // Caller holds mu. Oldest-first walk of the ring.
+  std::string eventsJson() const {
+    std::string out = "[";
+    for (size_t i = 0; i < count; ++i) {
+      const size_t idx = (head + kRingCapacity - count + i) % kRingCapacity;
+      const FlightEvent& e = ring[idx];
+      if (i > 0) out += ",";
+      out += "{\"ts_ns\":" + u64(e.tsNs) + "," +
+             jsonKv("cat", e.cat ? e.cat : "") + "," +
+             jsonKv("name", e.name ? e.name : "") + ",\"a\":" + u64(e.a) +
+             ",\"b\":" + u64(e.b) + "}";
+    }
+    out += "]";
+    return out;
+  }
+};
+
+FlightRecorder::FlightRecorder() : impl_(new Impl) {
+  if (const char* dir = std::getenv("JROUTE_FLIGHT_DIR")) {
+    if (dir[0] != '\0') {
+      impl_->armed = true;
+      impl_->dir = dir;
+    }
+  }
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = new FlightRecorder();  // leaked on purpose
+  return *recorder;
+}
+
+void FlightRecorder::note(const char* cat, const char* name, uint64_t a,
+                          uint64_t b) {
+  flightMetrics().notes.add();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  FlightEvent& slot = impl_->ring[impl_->head];
+  slot.tsNs = impl_->nowNs();
+  slot.cat = cat;
+  slot.name = name;
+  slot.a = a;
+  slot.b = b;
+  impl_->head = (impl_->head + 1) % kRingCapacity;
+  if (impl_->count < kRingCapacity) ++impl_->count;
+}
+
+void FlightRecorder::arm(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->armed = true;
+  impl_->dir = dir;
+}
+
+void FlightRecorder::disarm() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->armed = false;
+  impl_->dir.clear();
+}
+
+bool FlightRecorder::armed() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->armed;
+}
+
+std::string FlightRecorder::dir() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->dir;
+}
+
+std::string FlightRecorder::anomaly(const std::string& kind,
+                                    const std::string& detail,
+                                    const std::string& extraJson) {
+  flightMetrics().anomalies.add();
+  registry().counter("obs.flightrec.anomaly." + kind).add();
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    ++impl_->anomalies;
+    if (!impl_->armed) return "";
+  }
+
+  // Snapshot the registry *outside* the ring lock: snapshot() takes the
+  // registry mutex, and metric registration can happen on any thread.
+  // Only when armed — disarmed anomalies must stay counter-cheap.
+  const std::string metricsJson = registry().renderJson();
+
+  std::string bundle;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!impl_->armed) return "";  // disarmed between the checks
+    const uint64_t seq = impl_->nextSeq++;
+    path = impl_->dir + "/flightrec-" + u64(seq) + "-" + kind + ".json";
+    bundle = "{\"flightrec\":{";
+    bundle += jsonKv("kind", kind) + ",";
+    bundle += jsonKv("detail", detail) + ",";
+    bundle += "\"seq\":" + u64(seq) + ",";
+    bundle += "\"ts_ns\":" + u64(impl_->nowNs()) + ",";
+    bundle += "\"events\":" + impl_->eventsJson() + ",";
+    bundle += "\"extra\":" + (extraJson.empty() ? "null" : extraJson) + ",";
+    bundle += "\"metrics\":" + metricsJson;
+    bundle += "}}";
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return "";
+  const size_t wrote = std::fwrite(bundle.data(), 1, bundle.size(), f);
+  std::fclose(f);
+  if (wrote != bundle.size()) return "";
+  flightMetrics().bundles.add();
+  return path;
+}
+
+size_t FlightRecorder::eventCount() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->count;
+}
+
+uint64_t FlightRecorder::anomalyCount() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->anomalies;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->head = 0;
+  impl_->count = 0;
+}
+
+#else  // JROUTE_NO_TELEMETRY ------------------------------------------------
+
+struct FlightRecorder::Impl {};
+
+FlightRecorder::FlightRecorder() : impl_(nullptr) {}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = new FlightRecorder();  // leaked on purpose
+  return *recorder;
+}
+
+void FlightRecorder::note(const char*, const char*, uint64_t, uint64_t) {}
+void FlightRecorder::arm(const std::string&) {}
+void FlightRecorder::disarm() {}
+bool FlightRecorder::armed() const { return false; }
+std::string FlightRecorder::dir() const { return ""; }
+std::string FlightRecorder::anomaly(const std::string&, const std::string&,
+                                    const std::string&) {
+  return "";
+}
+size_t FlightRecorder::eventCount() const { return 0; }
+uint64_t FlightRecorder::anomalyCount() const { return 0; }
+void FlightRecorder::clear() {}
+
+#endif  // JROUTE_NO_TELEMETRY
+
+FlightRecorder& flightRecorder() { return FlightRecorder::instance(); }
+
+}  // namespace jrobs

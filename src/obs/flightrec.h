@@ -1,0 +1,85 @@
+// Anomaly flight recorder: post-mortem bundles for routing failures.
+//
+// Counters tell you contention happened; a trace tells you when — but by
+// the time someone goes looking, the interesting window is long gone.
+// The flight recorder keeps a small ring of recent engine events (batch
+// boundaries, claim conflicts, rollbacks, commits) that costs one mutexed
+// ring write per note — notes are emitted from engine-thread control
+// points, never from the search hot path. When an anomaly fires
+// (contention exception, rollback, deadline miss, paranoid-DRC
+// violation) and the recorder is armed, it dumps a self-contained JSON
+// bundle to a file: the anomaly, the last-N events, caller-supplied
+// extra context (the offending net's provenance, the DRC report), and a
+// full metrics snapshot. Anomalies are always *counted* in the registry
+// (obs.flightrec.*) even when disarmed, so `stats` shows that something
+// went wrong without any filesystem writes.
+//
+// Arming: `jrsh flightrec arm <dir>`, or set JROUTE_FLIGHT_DIR before
+// startup. Bundles are named flightrec-<seq>-<kind>.json.
+//
+// With JROUTE_NO_TELEMETRY every member is a no-op and anomaly() returns
+// an empty path; call sites never #ifdef.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jrobs {
+
+/// One ring entry. cat/name must be string literals (the ring stores the
+/// pointers, mirroring the tracer's contract); a/b are free-form payload
+/// words — typically a node id, request id, or count.
+struct FlightEvent {
+  uint64_t tsNs = 0;  // since recorder epoch
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  /// Append an event to the ring (overwrites the oldest when full).
+  void note(const char* cat, const char* name, uint64_t a = 0,
+            uint64_t b = 0);
+
+  /// Start writing anomaly bundles into `dir` (must already exist).
+  void arm(const std::string& dir);
+  void disarm();
+  bool armed() const;
+  /// Directory bundles are written to; empty when disarmed.
+  std::string dir() const;
+
+  /// Report an anomaly. Always bumps obs.flightrec.anomalies (and the
+  /// per-kind counter); when armed, also writes a bundle and returns its
+  /// path. `extraJson`, when non-empty, must be a complete JSON value
+  /// (e.g. `{"provenance":...,"drc":...}`) and is embedded verbatim as
+  /// the bundle's "extra" field.
+  std::string anomaly(const std::string& kind, const std::string& detail,
+                      const std::string& extraJson = "");
+
+  /// Events currently retained (capped at kRingCapacity).
+  size_t eventCount() const;
+  /// Anomalies reported since process start (armed or not).
+  uint64_t anomalyCount() const;
+
+  /// Drop all ring events (jrsh `stats reset`). Arming state and the
+  /// anomaly sequence counter are untouched.
+  void clear();
+
+  static constexpr size_t kRingCapacity = 1024;
+
+ private:
+  FlightRecorder();
+  ~FlightRecorder() = delete;  // process-lifetime singleton
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Shorthand for FlightRecorder::instance().
+FlightRecorder& flightRecorder();
+
+}  // namespace jrobs

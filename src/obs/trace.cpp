@@ -58,6 +58,11 @@ void Tracer::start() {
 
 void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
 
+void Tracer::clear() {
+  std::lock_guard lk(impl_->mu);
+  for (auto& r : impl_->rings) r->head.store(0, std::memory_order_release);
+}
+
 void Tracer::record(const char* cat, const char* name, uint64_t tsNs,
                     uint64_t durNs) {
   if (!enabled()) return;

@@ -49,6 +49,11 @@ class Tracer {
   void start();
   /// Stop recording. Events already captured stay exportable.
   void stop();
+  /// Drop every captured event without touching the enabled flag. jrsh
+  /// `stats reset` uses this so a reset scopes traces the same way it
+  /// scopes counters. Call at quiescence (or accept that in-flight
+  /// spans may land in the cleared rings).
+  void clear();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Record a completed span. No-op unless enabled.
@@ -133,6 +138,7 @@ class Tracer {
   static Tracer& instance();
   void start() {}
   void stop() {}
+  void clear() {}
   bool enabled() const { return false; }
   void record(const char*, const char*, uint64_t, uint64_t) {}
   void instant(const char*, const char*) {}

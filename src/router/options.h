@@ -77,6 +77,9 @@ struct RouteStats {
   uint64_t routesFailed = 0;
   uint64_t templateAttempts = 0;
   uint64_t templateHits = 0;
+  /// Subset of templateHits satisfied by a bus shape hint (the previous
+  /// bit's shape refit, Router::routeSink) rather than the library.
+  uint64_t shapeReuseHits = 0;
   uint64_t templateVisits = 0;
   uint64_t mazeRuns = 0;
   uint64_t mazeVisits = 0;

@@ -5,6 +5,7 @@
 #include "arch/wires.h"
 #include "core/router.h"
 #include "fabric/trace.h"
+#include "obs/heatmap.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "router/template_engine.h"
@@ -42,6 +43,14 @@ std::string pinName(const xcvsim::Graph& g, const Pin& p) {
   if (n != kInvalidNode) return g.nodeName(n);
   return "R" + std::to_string(p.rc.row) + "C" + std::to_string(p.rc.col) +
          ".wire" + std::to_string(p.wire);
+}
+
+/// A lost claim race at node `n`: count it, and locate it on the
+/// conflict heatmap (jrsh `heatmap conflicts`).
+void claimConflictAt(const xcvsim::Graph& g, NodeId n) {
+  plannerMetrics().claimConflicts.add();
+  const xcvsim::RowCol rc = g.positionOf(n);
+  jrobs::claimConflictGrid().add(rc.row, rc.col);
 }
 
 }  // namespace
@@ -150,7 +159,8 @@ bool Planner::planNet(uint32_t owner, Plan& plan, const EndPoint& source,
     if (!claims_->claim(srcNode, owner)) {
       // Another in-flight request wants the same source; let the
       // serialized path decide who wins.
-      plannerMetrics().claimConflicts.add();
+      claimConflictAt(g, srcNode);
+      plan.contendedNode = srcNode;
       return fail(Reject::kContention,
                   "source " + g.nodeName(srcNode) + " claimed concurrently",
                   false);
@@ -203,13 +213,15 @@ bool Planner::planSink(uint32_t owner, Plan& plan, PlannedNet& net,
     if (net.existing != kInvalidNet && fabric_->netOf(sinkNode) == net.existing) {
       return true;  // already connected — idempotent reuse
     }
+    plan.contendedNode = sinkNode;
     return fail(Reject::kContention,
                 "sink " + g.nodeName(sinkNode) + " is in use by another net",
                 true);
   }
   const uint32_t sinkOwner = claims_->ownerOf(sinkNode);
   if (sinkOwner != 0 && sinkOwner != owner) {
-    plannerMetrics().claimConflicts.add();
+    claimConflictAt(g, sinkNode);
+    plan.contendedNode = sinkNode;
     return fail(Reject::kContention,
                 "sink " + g.nodeName(sinkNode) + " claimed concurrently",
                 false);
@@ -226,8 +238,10 @@ bool Planner::planSink(uint32_t owner, Plan& plan, PlannedNet& net,
       const jroute::TemplateResult res =
           followTemplate(*fabric_, net.srcNode, *hint, sinkNode,
                          xcvsim::kInvalidLocalWire, opts_);
+      plan.visits += res.visited;
       if (res.found) {
         plannerMetrics().shapeReuseHits.add();
+        ++plan.shapeReuseHits;
         chain = res.edges;
         found = true;
       }
@@ -241,7 +255,9 @@ bool Planner::planSink(uint32_t owner, Plan& plan, PlannedNet& net,
         const jroute::TemplateResult res =
             followTemplate(*fabric_, net.srcNode, tmpl, sinkNode,
                            xcvsim::kInvalidLocalWire, opts_);
+        plan.visits += res.visited;
         if (res.found) {
+          ++plan.templateHits;
           chain = res.edges;
           found = true;
           break;
@@ -251,6 +267,8 @@ bool Planner::planSink(uint32_t owner, Plan& plan, PlannedNet& net,
     if (!found) {
       const jroute::SearchResult res =
           maze_.route(*fabric_, searchNet, treeNodes, sinkNode, opts_);
+      ++plan.mazeRuns;
+      plan.visits += res.visited;
       if (!res.found) {
         // Possibly starved by concurrent claims; the serialized retry is
         // authoritative for true unroutability.
@@ -264,7 +282,6 @@ bool Planner::planSink(uint32_t owner, Plan& plan, PlannedNet& net,
     }
     if (!claimChain(owner, plan, chain)) {
       ++plan.retries;
-      plannerMetrics().claimConflicts.add();
       continue;  // lost a race; contested nodes are now blocked, re-search
     }
     if (shapeOut) {
@@ -293,6 +310,8 @@ bool Planner::claimChain(uint32_t owner, Plan& plan,
     const NodeId v = g.edge(e).to;
     if (claims_->ownerOf(v) == owner) continue;  // already ours (tree node)
     if (!claims_->claim(v, owner)) {
+      claimConflictAt(g, v);
+      plan.contendedNode = v;
       claims_->releaseAll(acquired, owner);
       return false;
     }

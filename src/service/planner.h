@@ -48,6 +48,14 @@ struct Plan {
   std::vector<NodeId> claimed;
   /// Searches re-run after losing a claim race (stats).
   uint64_t retries = 0;
+  /// Per-request search effort, mirrored into the committed nets'
+  /// provenance records (obs/provenance.h).
+  uint64_t templateHits = 0;
+  uint64_t shapeReuseHits = 0;
+  uint64_t mazeRuns = 0;
+  uint64_t visits = 0;
+  /// For contention failures: the contested segment, when known.
+  NodeId contendedNode = xcvsim::kInvalidNode;
 };
 
 class Planner {

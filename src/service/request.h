@@ -44,6 +44,7 @@ enum class Reject : uint8_t {
 };
 
 const char* rejectName(Reject r);
+const char* opName(Op op);
 
 struct RouteResult {
   Outcome outcome = Outcome::kRejected;
@@ -55,6 +56,9 @@ struct RouteResult {
   /// True when the request was planned in the parallel phase (as opposed
   /// to the serialized conflict path).
   bool routedInParallel = false;
+  /// For kContention rejections: the contested segment, when known (the
+  /// flight recorder uses it to attach the owning net's provenance).
+  xcvsim::NodeId contendedNode = xcvsim::kInvalidNode;
 
   bool ok() const { return outcome == Outcome::kAccepted; }
 };

@@ -4,8 +4,11 @@
 #include <string>
 #include <utility>
 
+#include "analysis/congestion.h"
 #include "common/error.h"
 #include "fabric/trace.h"
+#include "obs/flightrec.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "service/txn.h"
 
@@ -21,6 +24,16 @@ using xcvsim::kInvalidNode;
 using xcvsim::NetId;
 using xcvsim::RowCol;
 using xcvsim::UnroutableError;
+
+const char* opName(Op op) {
+  switch (op) {
+    case Op::kRouteP2P: return "p2p";
+    case Op::kRouteFanout: return "fanout";
+    case Op::kRouteBus: return "bus";
+    case Op::kUnroute: return "unroute";
+  }
+  return "?";
+}
 
 const char* rejectName(Reject r) {
   switch (r) {
@@ -122,6 +135,10 @@ RoutingService::RoutingService(xcvsim::Fabric& fabric, ServiceOptions opts)
       router_(fabric, opts.router),
       claims_(fabric.graph().numNodes()),
       queue_(opts.queueCapacity) {
+  // Spatial claim-conflict accounting (jrsh `heatmap conflicts`): same
+  // device geometry, same cells, across every service on this fabric.
+  const auto& dev = fabric.graph().device();
+  jrobs::claimConflictGrid().configure(dev.rows, dev.cols);
   unsigned planThreads = opts_.planThreads != 0
                              ? opts_.planThreads
                              : std::max(1u, std::thread::hardware_concurrency());
@@ -281,6 +298,32 @@ void RoutingService::finish(Request& req, RouteResult res) {
         break;
       default: break;
     }
+    if (res.reason == Reject::kContention ||
+        res.reason == Reject::kDeadlineExpired) {
+      // Post-mortem hook. Counters are always bumped inside anomaly();
+      // the bundle context is only assembled when a dump will be written.
+      jrobs::FlightRecorder& fr = jrobs::flightRecorder();
+      const char* kind =
+          res.reason == Reject::kContention ? "contention" : "deadline";
+      fr.note("service", kind, req.id, res.contendedNode);
+      std::string extra;
+      if (fr.armed()) {
+        extra = "{\"request_id\":" + std::to_string(req.id) +
+                ",\"session_id\":" + std::to_string(req.sessionId) +
+                ",\"op\":\"" + opName(req.op) + "\",\"provenance\":";
+        // The most useful context for a contention dump is the record of
+        // the net that already holds the contested wire.
+        std::optional<jrobs::NetProvenance> holder;
+        if (res.contendedNode != kInvalidNode &&
+            fabric_->isUsed(res.contendedNode)) {
+          holder = jrobs::provenance().find(
+              fabric_->netSource(fabric_->netOf(res.contendedNode)));
+        }
+        extra += holder ? holder->json() : "null";
+        extra += "}";
+      }
+      fr.anomaly(kind, res.detail, extra);
+    }
   }
   if (req.enqueued != Clock::time_point{}) {
     m.requestLatencyUs.record(static_cast<uint64_t>(
@@ -334,6 +377,7 @@ void RoutingService::processBatch(std::vector<Request>& reqs) {
   stats_.batches.fetch_add(1);
   metrics().batches.add();
   metrics().batchSize.record(reqs.size());
+  jrobs::flightRecorder().note("service", "batch", reqs.size(), queue_.size());
   metrics().queueDepth.set(static_cast<int64_t>(queue_.size()));
   const auto now = Clock::now();
 
@@ -410,7 +454,9 @@ void RoutingService::processBatch(std::vector<Request>& reqs) {
       }
       claims_.releaseAll(job.plan.claimed, job.owner);
       if (job.plan.authoritative) {
-        finish(*job.req, rejected(job.plan.reason, job.plan.detail));
+        RouteResult rej = rejected(job.plan.reason, job.plan.detail);
+        rej.contendedNode = job.plan.contendedNode;
+        finish(*job.req, std::move(rej));
       } else {
         stats_.planFallbacks.fetch_add(1);
         metrics().planFallbacks.add();
@@ -482,6 +528,8 @@ bool RoutingService::commitPlan(Request& req, PlanJob& job,
   NodeId firstSrc = kInvalidNode;
   try {
     std::vector<NodeId> newlyOwned;
+    std::vector<NodeId> netSources;
+    std::vector<size_t> pipsPerNet;
     for (const PlannedNet& pn : job.plan.nets) {
       NetId net = pn.existing;
       if (net == kInvalidNet) {
@@ -491,18 +539,26 @@ bool RoutingService::commitPlan(Request& req, PlanJob& job,
         newlyOwned.push_back(pn.srcNode);
       }
       txn.commitChain(pn.edges, net);
+      netSources.push_back(pn.srcNode);
+      pipsPerNet.push_back(pn.edges.size());
       if (firstSrc == kInvalidNode) firstSrc = pn.srcNode;
     }
     txn.commit();
     for (const NodeId src : newlyOwned) registerNet(src, req.sessionId);
+    recordProvenance(req, /*parallel=*/true, netSources, pipsPerNet,
+                     job.plan.templateHits, job.plan.shapeReuseHits,
+                     job.plan.mazeRuns, job.plan.visits, job.plan.retries);
     stats_.parallelPlanned.fetch_add(1);
     metrics().parallelPlanned.add();
     out = accepted(firstSrc, /*parallel=*/true);
     return true;
-  } catch (const JRouteError&) {
+  } catch (const JRouteError& e) {
     // A plan that does not apply cleanly (should be rare: claims make
     // plans disjoint) is retried on the authoritative serialized path.
     txn.rollback();
+    jrobs::flightRecorder().anomaly(
+        "rollback", std::string("parallel plan failed to apply: ") + e.what(),
+        "{\"request_id\":" + std::to_string(req.id) + "}");
     return false;
   }
 }
@@ -519,6 +575,10 @@ RouteResult RoutingService::executeSerial(Request& req) {
 
   const xcvsim::Graph& g = fabric_->graph();
   RouteTxn txn(router_);
+  // Per-request search-effort deltas for provenance: the router's
+  // cumulative counters bracket this txn (the engine serializes fabric
+  // access, so no other request advances them in between).
+  const jroute::RouteStats before = router_.stats();
   try {
     const size_t numNets = req.op == Op::kRouteBus ? req.sources.size() : 1;
     std::vector<NodeId> srcNodes;
@@ -538,14 +598,31 @@ RouteResult RoutingService::executeSerial(Request& req) {
     } else {
       txn.route(req.sources.front(), req.sinks);
     }
+    // The journal dies with commit(); count each net's staged PIPs first.
+    std::vector<size_t> pipsPerNet;
+    pipsPerNet.reserve(srcNodes.size());
+    for (const NodeId src : srcNodes) {
+      pipsPerNet.push_back(
+          fabric_->isUsed(src) ? txn.stagedPipsFor(fabric_->netOf(src)) : 0);
+    }
     txn.commit();
     for (const NodeId src : newlyOwned) registerNet(src, req.sessionId);
+    const jroute::RouteStats after = router_.stats();
+    recordProvenance(req, /*parallel=*/false, srcNodes, pipsPerNet,
+                     after.templateHits - before.templateHits,
+                     after.shapeReuseHits - before.shapeReuseHits,
+                     after.mazeRuns - before.mazeRuns,
+                     (after.templateVisits - before.templateVisits) +
+                         (after.mazeVisits - before.mazeVisits),
+                     /*claimRetries=*/0);
     stats_.serialRouted.fetch_add(1);
     metrics().serialRouted.add();
     return accepted(srcNodes.front(), /*parallel=*/false);
   } catch (const ContentionError& e) {
     txn.rollback();
-    return rejected(Reject::kContention, e.what());
+    RouteResult rej = rejected(Reject::kContention, e.what());
+    rej.contendedNode = e.node();
+    return rej;
   } catch (const UnroutableError& e) {
     txn.rollback();
     return rejected(Reject::kUnroutable, e.what());
@@ -601,6 +678,52 @@ void RoutingService::unrouteNode(NodeId source) {
     fabric_->turnOff(it->edge);
   }
   if (fabric_->netSource(net) == source) fabric_->removeNet(net);
+  // The net is gone; its provenance record goes with it ("rolled-back or
+  // unrouted nets have none").
+  jrobs::provenance().forget(source);
+  jrobs::flightRecorder().note("service", "unroute", source, net);
+}
+
+void RoutingService::recordProvenance(
+    const Request& req, bool parallel, const std::vector<NodeId>& netSources,
+    const std::vector<size_t>& pipsPerNet, uint64_t templateHits,
+    uint64_t shapeReuseHits, uint64_t mazeRuns, uint64_t visits,
+    uint64_t claimRetries) {
+  if (!jrobs::compiledIn()) return;  // compile-time: the stub build pays 0
+  uint64_t latencyUs = 0;
+  if (req.enqueued != Clock::time_point{}) {
+    latencyUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - req.enqueued)
+            .count());
+  }
+  const char* algo =
+      jrobs::classifyAlgorithm(templateHits, mazeRuns, shapeReuseHits);
+  // Bus bits are one net per source/sink pair; p2p/fanout put every sink
+  // on the single net.
+  const uint64_t sinksPerNet =
+      req.op == Op::kRouteBus ? 1 : static_cast<uint64_t>(req.sinks.size());
+  for (size_t i = 0; i < netSources.size(); ++i) {
+    const NodeId src = netSources[i];
+    jrobs::NetProvenance rec;
+    rec.netSource = src;
+    if (fabric_->isUsed(src)) rec.netName = fabric_->netName(fabric_->netOf(src));
+    rec.requestId = req.id;
+    rec.sessionId = req.sessionId;
+    rec.op = opName(req.op);
+    rec.algorithm = algo;
+    rec.parallel = parallel;
+    rec.pips = i < pipsPerNet.size() ? pipsPerNet[i] : 0;
+    rec.sinks = sinksPerNet;
+    rec.searchVisits = visits;
+    rec.claimRetries = claimRetries;
+    rec.latencyUs = latencyUs;
+    rec.txn = "committed";
+    // The committing txn ran the paranoid rule set and did not throw.
+    rec.drc = jrdrc::paranoidEnabled() ? "pass" : "unchecked";
+    jrobs::provenance().record(std::move(rec));
+    jrobs::flightRecorder().note("service", "commit", req.id, src);
+  }
 }
 
 jrdrc::DrcInput RoutingService::drcInput(
@@ -627,7 +750,44 @@ jrdrc::DrcReport RoutingService::runDrc(bool includeBitstream) {
 
 jrobs::MetricsSnapshot RoutingService::snapshotMetrics() const {
   metrics().queueDepth.set(static_cast<int64_t>(queue_.size()));
+  if (jrobs::compiledIn()) {
+    std::lock_guard lk(fabricMu_);
+    publishCongestionGauges();
+  }
   return jrobs::registry().snapshot();
+}
+
+void RoutingService::publishCongestionGauges() const {
+  // Per-region congestion gauges, named by grid cell. Gauge registration
+  // is idempotent and the cell count is small (a few dozen), so the
+  // registry holds one gauge per region after the first snapshot.
+  const jrobs::Heatmap occ = jrdrc::occupancyHeatmap(*fabric_);
+  for (int r = 0; r < occ.gridRows; ++r) {
+    for (int c = 0; c < occ.gridCols; ++c) {
+      jrobs::registry()
+          .gauge("fabric.region.r" + std::to_string(r) + "c" +
+                 std::to_string(c) + ".occupancy")
+          .set(static_cast<int64_t>(occ.at(r, c)));
+    }
+  }
+  const jrobs::Heatmap conf = jrobs::claimConflictGrid().snapshot("");
+  for (int r = 0; r < conf.gridRows; ++r) {
+    for (int c = 0; c < conf.gridCols; ++c) {
+      jrobs::registry()
+          .gauge("service.claim.region.r" + std::to_string(r) + "c" +
+                 std::to_string(c) + ".conflicts")
+          .set(static_cast<int64_t>(conf.at(r, c)));
+    }
+  }
+}
+
+jrobs::Heatmap RoutingService::occupancy(int cellRows, int cellCols) const {
+  std::lock_guard lk(fabricMu_);
+  return jrdrc::occupancyHeatmap(*fabric_, cellRows, cellCols);
+}
+
+jrobs::Heatmap RoutingService::claimConflicts() const {
+  return jrobs::claimConflictGrid().snapshot("claim conflicts");
 }
 
 ServiceStats RoutingService::stats() const {

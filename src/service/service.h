@@ -29,6 +29,7 @@
 
 #include "analysis/drc.h"
 #include "core/router.h"
+#include "obs/heatmap.h"
 #include "obs/metrics.h"
 #include "service/claim_map.h"
 #include "service/planner.h"
@@ -121,8 +122,19 @@ class RoutingService {
 
   /// Point-in-time copy of the process-wide telemetry registry (router,
   /// service, txn, and DRC metrics), with the service's live gauges
-  /// (queue depth) refreshed first. Safe to call while the engine runs.
+  /// (queue depth, per-region occupancy and claim conflicts) refreshed
+  /// first. Safe to call while the engine runs (briefly takes the fabric
+  /// lock to read occupancy consistently).
   jrobs::MetricsSnapshot snapshotMetrics() const;
+
+  /// Per-region count of in-use fabric nodes, consistent under the
+  /// fabric lock (jrsh `heatmap`). Works in both telemetry build modes.
+  jrobs::Heatmap occupancy(int cellRows = 4, int cellCols = 4) const;
+
+  /// Per-region claim-conflict counts accumulated by the parallel
+  /// planners since start/reset (jrsh `heatmap conflicts`). Empty cells
+  /// with JROUTE_NO_TELEMETRY.
+  jrobs::Heatmap claimConflicts() const;
 
   size_t queueDepth() const { return queue_.size(); }
   std::vector<NodeId> netsOf(uint64_t sessionId) const;
@@ -169,6 +181,18 @@ class RoutingService {
   void unrouteNode(NodeId source);
   void registerNet(NodeId source, uint64_t sessionId);
   void finish(Request& req, RouteResult res);
+  /// Record provenance for every net the request just committed.
+  /// `netSources` are the nets' source nodes; counters describe the whole
+  /// request (shared by its nets). Call after txn commit, under fabricMu_.
+  void recordProvenance(const Request& req, bool parallel,
+                        const std::vector<NodeId>& netSources,
+                        const std::vector<size_t>& pipsPerNet,
+                        uint64_t templateHits, uint64_t shapeReuseHits,
+                        uint64_t mazeRuns, uint64_t visits,
+                        uint64_t claimRetries);
+  /// Refresh fabric.region.* / service.claim.region.* gauges. Caller
+  /// must hold fabricMu_.
+  void publishCongestionGauges() const;
 
   xcvsim::Fabric* fabric_;
   ServiceOptions opts_;
@@ -177,8 +201,9 @@ class RoutingService {
   BoundedQueue<Request> queue_;
 
   // Serializes fabric mutation and exclusive access (withRouter) against
-  // batch processing.
-  std::mutex fabricMu_;
+  // batch processing. Mutable: const introspection (snapshotMetrics,
+  // occupancy) must exclude the engine too.
+  mutable std::mutex fabricMu_;
 
   // Net ownership registry: net source node -> owning session.
   mutable std::mutex ownerMu_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "analysis/drc.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -80,12 +81,13 @@ void RouteTxn::commit() {
 
 void RouteTxn::rollback() {
   detach();
+  jrobs::flightRecorder().note("txn", "rollback", ons_.size(), nets_.size());
   xcvsim::Fabric& fabric = router_->fabric();
   // Chains were applied source-side first, so reverse order is leaf-first
   // within every chain and detaches later branches before the trunks they
   // hang from.
   for (auto it = ons_.rbegin(); it != ons_.rend(); ++it) {
-    fabric.turnOff(*it);
+    fabric.turnOff(it->first);
   }
   ons_.clear();
   // With all staged PIPs off, each staged net is back to its bare source.
@@ -111,8 +113,17 @@ void RouteTxn::netCreated(NetId net, NodeId source) {
 }
 
 void RouteTxn::pipTurnedOn(EdgeId e, NetId net) {
-  ons_.push_back(e);
+  ons_.emplace_back(e, net);
   if (prev_) prev_->pipTurnedOn(e, net);
+}
+
+size_t RouteTxn::stagedPipsFor(NetId net) const {
+  size_t n = 0;
+  for (const auto& [e, owner] : ons_) {
+    (void)e;
+    if (owner == net) ++n;
+  }
+  return n;
 }
 
 }  // namespace jrsvc

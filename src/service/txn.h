@@ -13,6 +13,7 @@
 
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/router.h"
@@ -66,6 +67,18 @@ class RouteTxn : public jroute::RouteObserver {
   size_t stagedPips() const { return ons_.size(); }
   size_t stagedNets() const { return nets_.size(); }
 
+  /// The staged journal, for provenance assembly: (edge, net) in
+  /// application order, and created nets in creation order. Valid only
+  /// while the txn is open — commit() and rollback() clear it, so callers
+  /// building provenance records must read (or copy) it first.
+  const std::vector<std::pair<EdgeId, NetId>>& stagedOns() const {
+    return ons_;
+  }
+  const std::vector<NetId>& stagedNetIds() const { return nets_; }
+
+  /// PIPs staged for `net` so far (provenance per-net pip counts).
+  size_t stagedPipsFor(NetId net) const;
+
   // --- RouteObserver ----------------------------------------------------------
 
   void netCreated(NetId net, NodeId source) override;
@@ -76,7 +89,9 @@ class RouteTxn : public jroute::RouteObserver {
 
   Router* router_;
   jroute::RouteObserver* prev_;
-  std::vector<EdgeId> ons_;   // in application order
+  /// (edge, owning net) in application order. The net id rides along so
+  /// provenance can attribute staged PIPs per net without re-tracing.
+  std::vector<std::pair<EdgeId, NetId>> ons_;
   std::vector<NetId> nets_;   // in creation order
   /// Router::connectionCount() at txn open. Staged routes may append
   /// port-connection memory; rollback truncates back to this mark so a

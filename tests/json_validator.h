@@ -1,0 +1,117 @@
+// Minimal JSON validator shared by the observability tests.
+//
+// Accepts exactly the RFC 8259 grammar (no trailing commas, no NaN, no
+// comments). Everything in src/obs and the flight-recorder bundles is
+// hand-serialized, and external tools (Chrome tracing, python json,
+// dashboards) consume the output — so "mostly JSON" is a bug the tests
+// must catch. Header-only so obs_test.cpp and provenance_test.cpp share
+// one grammar instead of drifting copies.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace jrtest {
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (eat('}')) return true;
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (!eat(':')) return false;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (eat(']')) return true;
+    while (true) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return eat('"');
+  }
+  bool number() {
+    const size_t start = pos_;
+    eat('-');
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void skipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+inline bool validJson(const std::string& s) { return JsonValidator(s).valid(); }
+
+}  // namespace jrtest

@@ -12,120 +12,22 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "json_validator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace jrobs {
 namespace {
 
-// --- Minimal JSON validator -------------------------------------------------
-// Accepts exactly the RFC 8259 grammar (no trailing commas, no NaN).
-
-class JsonValidator {
- public:
-  explicit JsonValidator(const std::string& s) : s_(s) {}
-
-  bool valid() {
-    skipWs();
-    if (!value()) return false;
-    skipWs();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-  bool object() {
-    ++pos_;  // '{'
-    skipWs();
-    if (eat('}')) return true;
-    while (true) {
-      skipWs();
-      if (!string()) return false;
-      skipWs();
-      if (!eat(':')) return false;
-      skipWs();
-      if (!value()) return false;
-      skipWs();
-      if (eat('}')) return true;
-      if (!eat(',')) return false;
-    }
-  }
-  bool array() {
-    ++pos_;  // '['
-    skipWs();
-    if (eat(']')) return true;
-    while (true) {
-      skipWs();
-      if (!value()) return false;
-      skipWs();
-      if (eat(']')) return true;
-      if (!eat(',')) return false;
-    }
-  }
-  bool string() {
-    if (!eat('"')) return false;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-      }
-      ++pos_;
-    }
-    return eat('"');
-  }
-  bool number() {
-    const size_t start = pos_;
-    eat('-');
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-  bool literal(const char* lit) {
-    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
-      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
-    }
-    return true;
-  }
-  bool eat(char c) {
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  void skipWs() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  const std::string& s_;
-  size_t pos_ = 0;
-};
-
-bool validJson(const std::string& s) { return JsonValidator(s).valid(); }
+// RFC 8259 validator shared with provenance_test.cpp.
+using jrtest::validJson;
 
 TEST(ObsJsonValidator, SelfTest) {
   EXPECT_TRUE(validJson("{}"));
@@ -367,6 +269,24 @@ TEST(ObsTrace, StartClearsPreviousCapture) {
   EXPECT_EQ(tracer.droppedCount(), 0u);
 }
 
+TEST(ObsTrace, ClearDropsBufferedEventsButKeepsEnableState) {
+  // jrsh `stats reset` calls this: buffered events vanish, but an active
+  // capture stays active (reset is about counters, not instrumentation
+  // on/off state).
+  if (!compiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  Tracer& tracer = Tracer::instance();
+  tracer.start();
+  JR_TRACE_INSTANT("test", "pre-clear");
+  ASSERT_GT(tracer.eventCount(), 0u);
+  tracer.clear();
+  EXPECT_EQ(tracer.eventCount(), 0u);
+  EXPECT_TRUE(tracer.enabled());  // clear() is not stop()
+  JR_TRACE_INSTANT("test", "post-clear");
+  EXPECT_EQ(tracer.eventCount(), 1u);
+  tracer.stop();
+  EXPECT_TRUE(validJson(tracer.exportJson()));
+}
+
 TEST(ObsTrace, DumpTraceWritesLoadableFile) {
   Tracer& tracer = Tracer::instance();
   tracer.start();
@@ -387,6 +307,33 @@ TEST(ObsTrace, DumpTraceWritesLoadableFile) {
   std::string err2;
   EXPECT_FALSE(dumpTrace("/nonexistent-dir/trace.json", &err2));
   EXPECT_FALSE(err2.empty());
+}
+
+// --- Bench run-record log ---------------------------------------------------
+
+TEST(ObsBenchRecord, RecordedJsonlLinesAreValid) {
+  // scripts/tier1.sh runs the record-producing benches into a fresh
+  // BENCH log, then re-runs this test with JROUTE_BENCH_JSONL pointing
+  // at it: every line must be one standalone RFC 8259 object carrying a
+  // timestamp (jrbench::appendRunRecord's contract). Without the env
+  // var there is nothing to check — plain ctest runs skip.
+  const char* path = std::getenv("JROUTE_BENCH_JSONL");
+  if (path == nullptr || path[0] == '\0') {
+    GTEST_SKIP() << "JROUTE_BENCH_JSONL not set";
+  }
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good()) << "cannot open " << path;
+  size_t records = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++records;
+    EXPECT_TRUE(validJson(line)) << "line " << records << ": " << line;
+    EXPECT_EQ(line.front(), '{') << "line " << records;
+    EXPECT_NE(line.find("\"timestamp\""), std::string::npos)
+        << "line " << records;
+  }
+  EXPECT_GT(records, 0u) << path << " is empty";
 }
 
 }  // namespace
