@@ -9,36 +9,13 @@
 //   $ ./jrsh               # read commands from stdin
 //   $ ./jrsh script.jr     # run a script
 //
-// Commands:
-//   device <NAME>                          bring up a family member
-//   route <r> <c> <from> <to>              level 1 single PIP
-//   auto  <r> <c> <wire>  <r> <c> <wire>   auto point-to-point
-//   fanout <r> <c> <wire>  <n> {<r> <c> <wire>}...
-//   unroute <r> <c> <wire>                 forward unroute
-//   rev     <r> <c> <wire>                 reverse unroute a sink
-//   trace   <r> <c> <wire>                 print the net
-//   ison    <r> <c> <wire>
-//   wire <NAME>                            look up a wire id by name
-//   map | util | nets                      occupancy map / report / nets
-//   save <file> | netlist <file>           bitfile / netlist export
-//   service on|off|stats                   drive routes through the
-//                                          concurrent routing service
-//   drc [json]                             run the static analyzer over
-//                                          the current design
-//   stats [json|reset]                     telemetry registry snapshot
-//                                          (reset also clears trace rings,
-//                                          provenance, and heatmap counts)
-//   trace start|stop|dump <file>           event tracing (Chrome JSON)
-//   why <r> <c> <wire> [json]              provenance of the net holding
-//                                          a wire: who routed it, how
-//   explain last                           provenance of the newest commit
-//   heatmap [conflicts] [json]             per-region occupancy (or claim
-//                                          conflict) map
-//   flightrec arm <dir>|off|status         anomaly flight recorder
-//   quit
+// `help` lists every command; the dispatch table below is the single
+// source of truth for names, usage, and one-line summaries, and
+// scripts/check_jrsh_help.sh keeps README.md in sync with it.
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <sstream>
 
 #include "analysis/congestion.h"
@@ -54,6 +31,7 @@
 #include "rtr/netlist.h"
 #include "rtr/report.h"
 #include "service/service.h"
+#include "verify/verify.h"
 
 using namespace jroute;
 using namespace xcvsim;
@@ -115,286 +93,431 @@ Pin readPin(std::istringstream& ls) {
   return Pin(r, c, lookupWire(w));
 }
 
+/// One shell command. `fn` returns false to leave the shell.
+struct Command {
+  const char* name;
+  const char* usage;    // argument grammar, "" if none
+  const char* summary;  // one line, shown by `help`
+  bool needsDevice;     // gate on `device <NAME>` having run
+  bool (*fn)(Session& s, std::istringstream& ls);
+};
+
+std::span<const Command> commandTable();
+
+bool cmdDevice(Session& s, std::istringstream& ls) {
+  std::string name;
+  ls >> name;
+  s.open(name);
+  return true;
+}
+
+bool cmdWire(Session&, std::istringstream& ls) {
+  std::string name;
+  ls >> name;
+  std::cout << name << " = " << lookupWire(name) << "\n";
+  return true;
+}
+
+bool cmdStats(Session& s, std::istringstream& ls) {
+  // Process-wide telemetry; going through the service refreshes its
+  // live gauges (queue depth) first.
+  std::string fmt;
+  ls >> fmt;
+  if (fmt == "reset") {
+    // Reset scopes a measurement: zero the registry AND drop captured
+    // trace events, provenance records, flight-recorder events, and the
+    // claim-conflict heatmap, so everything observed afterwards belongs
+    // to the next run. The tracer's enabled flag and the flight
+    // recorder's arming are left alone.
+    jrobs::registry().reset();
+    jrobs::Tracer::instance().clear();
+    jrobs::provenance().clear();
+    jrobs::flightRecorder().clear();
+    jrobs::claimConflictGrid().reset();
+    std::cout << "stats reset\n";
+    return true;
+  }
+  const jrobs::MetricsSnapshot snap =
+      s.svc ? s.svc->snapshotMetrics() : jrobs::registry().snapshot();
+  if (fmt == "json") {
+    std::cout << snap.json() << "\n";
+  } else {
+    std::cout << snap.text();
+  }
+  return true;
+}
+
+bool cmdTrace(Session& s, std::istringstream& ls) {
+  // `trace start|stop|dump <file>` drives the event tracer; a numeric
+  // first argument keeps the original net-print meaning.
+  std::string arg;
+  if (!(ls >> arg)) throw ArgumentError("trace start|stop|dump|<pin>");
+  if (arg == "start") {
+    jrobs::Tracer::instance().start();
+    std::cout << "tracing"
+              << (jrobs::compiledIn() ? "\n" : " (telemetry compiled out)\n");
+    return true;
+  }
+  if (arg == "stop") {
+    jrobs::Tracer::instance().stop();
+    std::cout << "trace stopped (" << jrobs::Tracer::instance().eventCount()
+              << " events)\n";
+    return true;
+  }
+  if (arg == "dump") {
+    std::string file;
+    if (!(ls >> file)) throw ArgumentError("trace dump <file>");
+    std::string err;
+    if (!jrobs::dumpTrace(file, &err)) throw ArgumentError(err);
+    std::cout << "wrote " << file << " ("
+              << jrobs::Tracer::instance().eventCount() << " events, "
+              << jrobs::Tracer::instance().droppedCount() << " dropped)\n";
+    return true;
+  }
+  if (!s.ready()) throw ArgumentError("run 'device <NAME>' first");
+  int r, c;
+  std::string w;
+  try {
+    r = std::stoi(arg);
+  } catch (const std::exception&) {
+    throw ArgumentError("trace start|stop|dump|<row> <col> <wire>");
+  }
+  if (!(ls >> c >> w)) throw ArgumentError("expected <row> <col> <wire>");
+  std::cout << renderNet(*s.router, EndPoint(Pin(r, c, lookupWire(w))));
+  return true;
+}
+
+bool cmdFlightrec(Session&, std::istringstream& ls) {
+  std::string mode;
+  if (!(ls >> mode)) throw ArgumentError("flightrec arm <dir>|off|status");
+  jrobs::FlightRecorder& fr = jrobs::flightRecorder();
+  if (mode == "arm") {
+    std::string dir;
+    if (!(ls >> dir)) throw ArgumentError("flightrec arm <dir>");
+    fr.arm(dir);
+    std::cout << "flight recorder armed -> " << dir
+              << (jrobs::compiledIn() ? "\n" : " (telemetry compiled out)\n");
+  } else if (mode == "off") {
+    fr.disarm();
+    std::cout << "flight recorder disarmed\n";
+  } else if (mode == "status") {
+    std::cout << "flight recorder "
+              << (fr.armed() ? "armed -> " + fr.dir() : "disarmed") << " ("
+              << fr.eventCount() << " events, " << fr.anomalyCount()
+              << " anomalies)\n";
+  } else {
+    throw ArgumentError("flightrec arm <dir>|off|status");
+  }
+  return true;
+}
+
+bool cmdRoute(Session& s, std::istringstream& ls) {
+  int r, c;
+  std::string f, t;
+  if (!(ls >> r >> c >> f >> t)) throw ArgumentError("route args");
+  s.router->route(r, c, lookupWire(f), lookupWire(t));
+  std::cout << "on\n";
+  return true;
+}
+
+bool cmdAuto(Session& s, std::istringstream& ls) {
+  const Pin a = readPin(ls);
+  const Pin b = readPin(ls);
+  if (s.svc) {
+    report(s.client.route(EndPoint(a), EndPoint(b)), "routed");
+  } else {
+    s.router->route(EndPoint(a), EndPoint(b));
+    std::cout << "routed ("
+              << (s.router->stats().lastMethod == RouteMethod::Maze
+                      ? "maze"
+                      : "template")
+              << ")\n";
+  }
+  return true;
+}
+
+bool cmdFanout(Session& s, std::istringstream& ls) {
+  const Pin src = readPin(ls);
+  int n;
+  if (!(ls >> n)) throw ArgumentError("fanout count");
+  std::vector<EndPoint> sinks;
+  for (int i = 0; i < n; ++i) sinks.push_back(EndPoint(readPin(ls)));
+  if (s.svc) {
+    report(s.client.fanout(EndPoint(src), std::move(sinks)), "routed");
+  } else {
+    s.router->route(EndPoint(src), std::span<const EndPoint>(sinks));
+    std::cout << "routed " << n << " sinks\n";
+  }
+  return true;
+}
+
+bool cmdUnroute(Session& s, std::istringstream& ls) {
+  if (s.svc) {
+    report(s.client.unroute(EndPoint(readPin(ls))), "freed");
+  } else {
+    s.router->unroute(EndPoint(readPin(ls)));
+    std::cout << "freed\n";
+  }
+  return true;
+}
+
+bool cmdRev(Session& s, std::istringstream& ls) {
+  s.router->reverseUnroute(EndPoint(readPin(ls)));
+  std::cout << "branch freed\n";
+  return true;
+}
+
+bool cmdIson(Session& s, std::istringstream& ls) {
+  const Pin p = readPin(ls);
+  std::cout << (s.router->isOn(p.rc.row, p.rc.col, p.wire) ? "yes" : "no")
+            << "\n";
+  return true;
+}
+
+bool cmdService(Session& s, std::istringstream& ls) {
+  std::string mode;
+  ls >> mode;
+  if (mode == "on") {
+    if (!s.svc) {
+      s.svc = std::make_unique<jrsvc::RoutingService>(*s.fabric);
+      s.client = s.svc->openSession();
+    }
+    std::cout << "service on (session " << s.client.id() << ")\n";
+  } else if (mode == "off") {
+    if (s.svc) {
+      // Keep the session's nets on the fabric; just stop the engine.
+      s.svc->closeSession(s.client, /*unrouteOwned=*/false);
+      s.svc->stop();
+      s.svc.reset();
+    }
+    std::cout << "service off\n";
+  } else if (mode == "stats") {
+    if (!s.svc) throw ArgumentError("service is off");
+    const jrsvc::ServiceStats st = s.svc->stats();
+    std::cout << "submitted " << st.submitted << "  accepted "
+              << st.accepted << "  rejected " << st.rejected
+              << "  batches " << st.batches << "  parallel "
+              << st.parallelPlanned << "  serial " << st.serialRouted
+              << "  fallbacks " << st.planFallbacks << "  claim-retries "
+              << st.claimRetries << "\n";
+  } else {
+    throw ArgumentError("service on|off|stats");
+  }
+  return true;
+}
+
+bool cmdDrc(Session& s, std::istringstream& ls) {
+  std::string fmt;
+  ls >> fmt;
+  jrdrc::DrcReport rep;
+  if (s.svc) {
+    // Service on: the analyzer sees every view — the engine's router,
+    // the session-ownership table, the claim map, and the bitstream.
+    rep = s.svc->runDrc();
+  } else {
+    jrdrc::DrcInput in;
+    in.fabric = s.fabric.get();
+    in.router = s.router.get();
+    rep = jrdrc::runDrc(in);
+  }
+  if (fmt == "json") {
+    std::cout << rep.json() << "\n";
+  } else {
+    std::cout << rep.summary();
+  }
+  return true;
+}
+
+bool cmdVerify(Session& s, std::istringstream& ls) {
+  // Static model verification (jrverify): checks the architecture
+  // description, graph, template library, and slot table of the open
+  // device — not the routed design. The replay rule needs a clean
+  // fabric, so it runs against a scratch one, never the session's.
+  std::string fmt;
+  ls >> fmt;
+  Fabric scratch(*s.graph, *s.table);
+  const jrverify::VerifyReport rep =
+      jrverify::runVerify(jrverify::makeModelView(*s.graph, *s.table, scratch));
+  if (fmt == "json") {
+    std::cout << rep.json() << "\n";
+  } else {
+    std::cout << rep.summary();
+  }
+  return true;
+}
+
+bool cmdWhy(Session& s, std::istringstream& ls) {
+  // Provenance of the net occupying a wire: which request routed it,
+  // through which engine, at what cost. `why <pin> json` for machines.
+  const Pin p = readPin(ls);
+  std::string fmt;
+  ls >> fmt;
+  const NodeId n = s.graph->nodeAt(p.rc, p.wire);
+  if (n == kInvalidNode) throw ArgumentError("pin names no wire");
+  if (!s.fabric->isUsed(n)) {
+    std::cout << s.graph->nodeName(n) << " is not routed\n";
+    return true;
+  }
+  const NodeId src = s.fabric->netSource(s.fabric->netOf(n));
+  const auto rec = jrobs::provenance().find(src);
+  if (!rec) {
+    std::cout << "no provenance for net '"
+              << s.fabric->netName(s.fabric->netOf(n)) << "'"
+              << (jrobs::compiledIn()
+                      ? " (routed outside the service, or record evicted)\n"
+                      : " (telemetry compiled out)\n");
+    return true;
+  }
+  std::cout << (fmt == "json" ? rec->json() + "\n" : rec->text());
+  return true;
+}
+
+bool cmdExplain(Session&, std::istringstream& ls) {
+  std::string what, fmt;
+  ls >> what >> fmt;
+  if (what != "last") throw ArgumentError("explain last [json]");
+  const auto rec = jrobs::provenance().last();
+  if (!rec) {
+    std::cout << "no provenance records"
+              << (jrobs::compiledIn() ? "\n" : " (telemetry compiled out)\n");
+    return true;
+  }
+  std::cout << (fmt == "json" ? rec->json() + "\n" : rec->text());
+  return true;
+}
+
+bool cmdHeatmap(Session& s, std::istringstream& ls) {
+  // `heatmap [json]` renders committed-design density; `heatmap
+  // conflicts [json]` renders where parallel planners lost claim races.
+  std::string arg1, arg2;
+  ls >> arg1 >> arg2;
+  const bool conflicts = arg1 == "conflicts";
+  const bool json = arg1 == "json" || arg2 == "json";
+  jrobs::Heatmap h;
+  if (conflicts) {
+    h = s.svc ? s.svc->claimConflicts()
+              : jrobs::claimConflictGrid().snapshot("claim conflicts");
+    if (h.values.empty() && !jrobs::compiledIn()) {
+      std::cout << "claim-conflict heatmap requires telemetry "
+                   "(JROUTE_NO_TELEMETRY build)\n";
+      return true;
+    }
+  } else {
+    h = s.svc ? s.svc->occupancy()
+              : jrdrc::occupancyHeatmap(*s.fabric);
+  }
+  std::cout << (json ? h.json() + "\n" : h.ascii());
+  return true;
+}
+
+bool cmdMap(Session& s, std::istringstream&) {
+  std::cout << renderUsageMap(*s.fabric);
+  return true;
+}
+
+bool cmdUtil(Session& s, std::istringstream&) {
+  std::cout << computeUtilization(*s.fabric).toString();
+  return true;
+}
+
+bool cmdNets(Session& s, std::istringstream&) {
+  std::cout << netSummary(*s.fabric);
+  return true;
+}
+
+bool cmdSave(Session& s, std::istringstream& ls) {
+  std::string file;
+  ls >> file;
+  std::ofstream os(file, std::ios::binary);
+  writeBitfile(os, s.fabric->jbits().bitstream(), "jrsh");
+  std::cout << "wrote " << file << "\n";
+  return true;
+}
+
+bool cmdNetlist(Session& s, std::istringstream& ls) {
+  std::string file;
+  ls >> file;
+  std::ofstream os(file);
+  os << exportNetlist(*s.fabric);
+  std::cout << "wrote " << file << "\n";
+  return true;
+}
+
+bool cmdHelp(Session&, std::istringstream&) {
+  for (const Command& c : commandTable()) {
+    std::string lhs = c.name;
+    if (c.usage[0] != '\0') lhs += std::string(" ") + c.usage;
+    std::printf("  %-42s %s\n", lhs.c_str(), c.summary);
+  }
+  return true;
+}
+
+bool cmdQuit(Session&, std::istringstream&) { return false; }
+
+/// The dispatch table — single source of truth for the command set.
+std::span<const Command> commandTable() {
+  static const Command kCommands[] = {
+      {"device", "<NAME>", "bring up a family member (XCV50..XCV1000)",
+       false, cmdDevice},
+      {"wire", "<NAME>", "look up a wire id by name", false, cmdWire},
+      {"route", "<r> <c> <from> <to>", "level 1: turn on a single PIP",
+       true, cmdRoute},
+      {"auto", "<r> <c> <wire>  <r> <c> <wire>", "auto point-to-point route",
+       true, cmdAuto},
+      {"fanout", "<r> <c> <wire> <n> {<r> <c> <wire>}...",
+       "route one source to n sinks", true, cmdFanout},
+      {"unroute", "<r> <c> <wire>", "forward unroute from a source",
+       true, cmdUnroute},
+      {"rev", "<r> <c> <wire>", "reverse unroute a sink branch",
+       true, cmdRev},
+      {"ison", "<r> <c> <wire>", "is this wire part of a routed net?",
+       true, cmdIson},
+      {"trace", "start|stop|dump <file>|<r> <c> <wire>",
+       "event tracer (Chrome JSON), or print the net at a pin",
+       false, cmdTrace},
+      {"map", "", "ASCII occupancy map", true, cmdMap},
+      {"util", "", "utilization report", true, cmdUtil},
+      {"nets", "", "list routed nets", true, cmdNets},
+      {"save", "<file>", "write the configuration as a bitfile",
+       true, cmdSave},
+      {"netlist", "<file>", "export the routed design as a netlist",
+       true, cmdNetlist},
+      {"service", "on|off|stats", "drive routes through the concurrent "
+       "routing service", true, cmdService},
+      {"drc", "[json]", "run the design-rule checker over the current "
+       "design", true, cmdDrc},
+      {"verify", "[json]", "statically verify the device model "
+       "(arch/rrg/template/bitstream rules)", true, cmdVerify},
+      {"stats", "[json|reset]", "telemetry registry snapshot; reset also "
+       "clears rings and heatmaps", false, cmdStats},
+      {"why", "<r> <c> <wire> [json]", "provenance of the net holding a "
+       "wire: who routed it, how", true, cmdWhy},
+      {"explain", "last [json]", "provenance of the newest commit",
+       true, cmdExplain},
+      {"heatmap", "[conflicts] [json]", "per-region occupancy (or claim "
+       "conflict) map", true, cmdHeatmap},
+      {"flightrec", "arm <dir>|off|status", "anomaly flight recorder",
+       false, cmdFlightrec},
+      {"help", "", "this list", false, cmdHelp},
+      {"quit", "", "leave the shell (alias: exit)", false, cmdQuit},
+  };
+  return kCommands;
+}
+
 bool handle(Session& s, const std::string& line) {
   std::istringstream ls(line);
   std::string cmd;
   if (!(ls >> cmd) || cmd[0] == '#') return true;
+  if (cmd == "exit") cmd = "quit";
 
-  if (cmd == "quit" || cmd == "exit") return false;
-  if (cmd == "device") {
-    std::string name;
-    ls >> name;
-    s.open(name);
-    return true;
+  for (const Command& c : commandTable()) {
+    if (cmd != c.name) continue;
+    if (c.needsDevice && !s.ready()) {
+      throw ArgumentError("run 'device <NAME>' first");
+    }
+    return c.fn(s, ls);
   }
-  if (cmd == "wire") {
-    std::string name;
-    ls >> name;
-    std::cout << name << " = " << lookupWire(name) << "\n";
-    return true;
-  }
-  if (cmd == "stats") {
-    // Process-wide telemetry; going through the service refreshes its
-    // live gauges (queue depth) first.
-    std::string fmt;
-    ls >> fmt;
-    if (fmt == "reset") {
-      // Reset scopes a measurement: zero the registry AND drop captured
-      // trace events, provenance records, flight-recorder events, and the
-      // claim-conflict heatmap, so everything observed afterwards belongs
-      // to the next run. The tracer's enabled flag and the flight
-      // recorder's arming are left alone.
-      jrobs::registry().reset();
-      jrobs::Tracer::instance().clear();
-      jrobs::provenance().clear();
-      jrobs::flightRecorder().clear();
-      jrobs::claimConflictGrid().reset();
-      std::cout << "stats reset\n";
-      return true;
-    }
-    const jrobs::MetricsSnapshot snap =
-        s.svc ? s.svc->snapshotMetrics() : jrobs::registry().snapshot();
-    if (fmt == "json") {
-      std::cout << snap.json() << "\n";
-    } else {
-      std::cout << snap.text();
-    }
-    return true;
-  }
-  if (cmd == "trace") {
-    // `trace start|stop|dump <file>` drives the event tracer; a numeric
-    // first argument keeps the original net-print meaning.
-    std::string arg;
-    if (!(ls >> arg)) throw ArgumentError("trace start|stop|dump|<pin>");
-    if (arg == "start") {
-      jrobs::Tracer::instance().start();
-      std::cout << "tracing"
-                << (jrobs::compiledIn() ? "\n" : " (telemetry compiled out)\n");
-      return true;
-    }
-    if (arg == "stop") {
-      jrobs::Tracer::instance().stop();
-      std::cout << "trace stopped (" << jrobs::Tracer::instance().eventCount()
-                << " events)\n";
-      return true;
-    }
-    if (arg == "dump") {
-      std::string file;
-      if (!(ls >> file)) throw ArgumentError("trace dump <file>");
-      std::string err;
-      if (!jrobs::dumpTrace(file, &err)) throw ArgumentError(err);
-      std::cout << "wrote " << file << " ("
-                << jrobs::Tracer::instance().eventCount() << " events, "
-                << jrobs::Tracer::instance().droppedCount() << " dropped)\n";
-      return true;
-    }
-    if (!s.ready()) throw ArgumentError("run 'device <NAME>' first");
-    int r, c;
-    std::string w;
-    try {
-      r = std::stoi(arg);
-    } catch (const std::exception&) {
-      throw ArgumentError("trace start|stop|dump|<row> <col> <wire>");
-    }
-    if (!(ls >> c >> w)) throw ArgumentError("expected <row> <col> <wire>");
-    std::cout << renderNet(*s.router, EndPoint(Pin(r, c, lookupWire(w))));
-    return true;
-  }
-  if (cmd == "flightrec") {
-    std::string mode;
-    if (!(ls >> mode)) throw ArgumentError("flightrec arm <dir>|off|status");
-    jrobs::FlightRecorder& fr = jrobs::flightRecorder();
-    if (mode == "arm") {
-      std::string dir;
-      if (!(ls >> dir)) throw ArgumentError("flightrec arm <dir>");
-      fr.arm(dir);
-      std::cout << "flight recorder armed -> " << dir
-                << (jrobs::compiledIn() ? "\n" : " (telemetry compiled out)\n");
-    } else if (mode == "off") {
-      fr.disarm();
-      std::cout << "flight recorder disarmed\n";
-    } else if (mode == "status") {
-      std::cout << "flight recorder "
-                << (fr.armed() ? "armed -> " + fr.dir() : "disarmed") << " ("
-                << fr.eventCount() << " events, " << fr.anomalyCount()
-                << " anomalies)\n";
-    } else {
-      throw ArgumentError("flightrec arm <dir>|off|status");
-    }
-    return true;
-  }
-  if (!s.ready()) throw ArgumentError("run 'device <NAME>' first");
-
-  if (cmd == "route") {
-    int r, c;
-    std::string f, t;
-    if (!(ls >> r >> c >> f >> t)) throw ArgumentError("route args");
-    s.router->route(r, c, lookupWire(f), lookupWire(t));
-    std::cout << "on\n";
-  } else if (cmd == "auto") {
-    const Pin a = readPin(ls);
-    const Pin b = readPin(ls);
-    if (s.svc) {
-      report(s.client.route(EndPoint(a), EndPoint(b)), "routed");
-    } else {
-      s.router->route(EndPoint(a), EndPoint(b));
-      std::cout << "routed ("
-                << (s.router->stats().lastMethod == RouteMethod::Maze
-                        ? "maze"
-                        : "template")
-                << ")\n";
-    }
-  } else if (cmd == "fanout") {
-    const Pin src = readPin(ls);
-    int n;
-    if (!(ls >> n)) throw ArgumentError("fanout count");
-    std::vector<EndPoint> sinks;
-    for (int i = 0; i < n; ++i) sinks.push_back(EndPoint(readPin(ls)));
-    if (s.svc) {
-      report(s.client.fanout(EndPoint(src), std::move(sinks)), "routed");
-    } else {
-      s.router->route(EndPoint(src), std::span<const EndPoint>(sinks));
-      std::cout << "routed " << n << " sinks\n";
-    }
-  } else if (cmd == "unroute") {
-    if (s.svc) {
-      report(s.client.unroute(EndPoint(readPin(ls))), "freed");
-    } else {
-      s.router->unroute(EndPoint(readPin(ls)));
-      std::cout << "freed\n";
-    }
-  } else if (cmd == "service") {
-    std::string mode;
-    ls >> mode;
-    if (mode == "on") {
-      if (!s.svc) {
-        s.svc = std::make_unique<jrsvc::RoutingService>(*s.fabric);
-        s.client = s.svc->openSession();
-      }
-      std::cout << "service on (session " << s.client.id() << ")\n";
-    } else if (mode == "off") {
-      if (s.svc) {
-        // Keep the session's nets on the fabric; just stop the engine.
-        s.svc->closeSession(s.client, /*unrouteOwned=*/false);
-        s.svc->stop();
-        s.svc.reset();
-      }
-      std::cout << "service off\n";
-    } else if (mode == "stats") {
-      if (!s.svc) throw ArgumentError("service is off");
-      const jrsvc::ServiceStats st = s.svc->stats();
-      std::cout << "submitted " << st.submitted << "  accepted "
-                << st.accepted << "  rejected " << st.rejected
-                << "  batches " << st.batches << "  parallel "
-                << st.parallelPlanned << "  serial " << st.serialRouted
-                << "  fallbacks " << st.planFallbacks << "  claim-retries "
-                << st.claimRetries << "\n";
-    } else {
-      throw ArgumentError("service on|off|stats");
-    }
-  } else if (cmd == "drc") {
-    std::string fmt;
-    ls >> fmt;
-    jrdrc::DrcReport rep;
-    if (s.svc) {
-      // Service on: the analyzer sees every view — the engine's router,
-      // the session-ownership table, the claim map, and the bitstream.
-      rep = s.svc->runDrc();
-    } else {
-      jrdrc::DrcInput in;
-      in.fabric = s.fabric.get();
-      in.router = s.router.get();
-      rep = jrdrc::runDrc(in);
-    }
-    if (fmt == "json") {
-      std::cout << rep.json() << "\n";
-    } else {
-      std::cout << rep.summary();
-    }
-  } else if (cmd == "why") {
-    // Provenance of the net occupying a wire: which request routed it,
-    // through which engine, at what cost. `why <pin> json` for machines.
-    const Pin p = readPin(ls);
-    std::string fmt;
-    ls >> fmt;
-    const NodeId n = s.graph->nodeAt(p.rc, p.wire);
-    if (n == kInvalidNode) throw ArgumentError("pin names no wire");
-    if (!s.fabric->isUsed(n)) {
-      std::cout << s.graph->nodeName(n) << " is not routed\n";
-      return true;
-    }
-    const NodeId src = s.fabric->netSource(s.fabric->netOf(n));
-    const auto rec = jrobs::provenance().find(src);
-    if (!rec) {
-      std::cout << "no provenance for net '"
-                << s.fabric->netName(s.fabric->netOf(n)) << "'"
-                << (jrobs::compiledIn()
-                        ? " (routed outside the service, or record evicted)\n"
-                        : " (telemetry compiled out)\n");
-      return true;
-    }
-    std::cout << (fmt == "json" ? rec->json() + "\n" : rec->text());
-  } else if (cmd == "explain") {
-    std::string what, fmt;
-    ls >> what >> fmt;
-    if (what != "last") throw ArgumentError("explain last [json]");
-    const auto rec = jrobs::provenance().last();
-    if (!rec) {
-      std::cout << "no provenance records"
-                << (jrobs::compiledIn() ? "\n" : " (telemetry compiled out)\n");
-      return true;
-    }
-    std::cout << (fmt == "json" ? rec->json() + "\n" : rec->text());
-  } else if (cmd == "heatmap") {
-    // `heatmap [json]` renders committed-design density; `heatmap
-    // conflicts [json]` renders where parallel planners lost claim races.
-    std::string arg1, arg2;
-    ls >> arg1 >> arg2;
-    const bool conflicts = arg1 == "conflicts";
-    const bool json = arg1 == "json" || arg2 == "json";
-    jrobs::Heatmap h;
-    if (conflicts) {
-      h = s.svc ? s.svc->claimConflicts()
-                : jrobs::claimConflictGrid().snapshot("claim conflicts");
-      if (h.values.empty() && !jrobs::compiledIn()) {
-        std::cout << "claim-conflict heatmap requires telemetry "
-                     "(JROUTE_NO_TELEMETRY build)\n";
-        return true;
-      }
-    } else {
-      h = s.svc ? s.svc->occupancy()
-                : jrdrc::occupancyHeatmap(*s.fabric);
-    }
-    std::cout << (json ? h.json() + "\n" : h.ascii());
-  } else if (cmd == "rev") {
-    s.router->reverseUnroute(EndPoint(readPin(ls)));
-    std::cout << "branch freed\n";
-  } else if (cmd == "ison") {
-    const Pin p = readPin(ls);
-    std::cout << (s.router->isOn(p.rc.row, p.rc.col, p.wire) ? "yes" : "no")
-              << "\n";
-  } else if (cmd == "map") {
-    std::cout << renderUsageMap(*s.fabric);
-  } else if (cmd == "util") {
-    std::cout << computeUtilization(*s.fabric).toString();
-  } else if (cmd == "nets") {
-    std::cout << netSummary(*s.fabric);
-  } else if (cmd == "save") {
-    std::string file;
-    ls >> file;
-    std::ofstream os(file, std::ios::binary);
-    writeBitfile(os, s.fabric->jbits().bitstream(), "jrsh");
-    std::cout << "wrote " << file << "\n";
-  } else if (cmd == "netlist") {
-    std::string file;
-    ls >> file;
-    std::ofstream os(file);
-    os << exportNetlist(*s.fabric);
-    std::cout << "wrote " << file << "\n";
-  } else {
-    throw ArgumentError("unknown command '" + cmd + "'");
-  }
-  return true;
+  throw ArgumentError("unknown command '" + cmd + "' (try 'help')");
 }
 
 }  // namespace

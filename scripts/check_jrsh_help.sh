@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regression guard: the jrsh command reference in README.md must stay in
+# sync with the shell's actual dispatch table. README.md carries the
+# verbatim output of `jrsh help` between the jrsh-help-begin/end markers;
+# this script re-runs `help` against the built binary and diffs. Any
+# command added, removed, or reworded in examples/jrsh.cpp without
+# updating the README (or vice versa) fails the build.
+#
+#   scripts/check_jrsh_help.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+JRSH="$BUILD/examples/jrsh"
+if [[ ! -x "$JRSH" ]]; then
+  echo "check_jrsh_help: $JRSH not built" >&2
+  exit 1
+fi
+
+ACTUAL=$(printf 'help\nquit\n' | "$JRSH")
+
+# Extract the fenced block between the markers, dropping the ``` fences.
+DOCUMENTED=$(awk '/<!-- jrsh-help-begin -->/{f=1; next}
+                  /<!-- jrsh-help-end -->/{f=0}
+                  f && !/^```/' README.md)
+
+if [[ -z "$DOCUMENTED" ]]; then
+  echo "check_jrsh_help: no jrsh-help-begin/end block in README.md" >&2
+  exit 1
+fi
+
+if ! diff <(echo "$DOCUMENTED") <(echo "$ACTUAL") >/tmp/jrsh_help.diff; then
+  echo "check_jrsh_help: README.md command reference is out of sync with 'jrsh help':" >&2
+  cat /tmp/jrsh_help.diff >&2
+  echo "update the block between <!-- jrsh-help-begin --> and <!-- jrsh-help-end --> in README.md" >&2
+  exit 1
+fi
+echo "jrsh help/README sync OK ($(echo "$ACTUAL" | wc -l) commands)"

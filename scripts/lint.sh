@@ -1,21 +1,47 @@
 #!/usr/bin/env bash
-# Static lint over the concurrency-bearing layers (src/service, the core
-# router, the DRC analyzer including the congestion heatmap source, and
-# the telemetry subsystem including provenance, heatmap grid, and flight
-# recorder) using the checks pinned in .clang-tidy. The src/obs and
-# src/analysis globs below pick up new .cpp files automatically.
+# Static lint over the concurrency-bearing and model-bearing layers
+# (src/service, the core router, the DRC analyzer, the telemetry
+# subsystem, the architecture model, the routing-resource graph, and the
+# jrverify model verifier) using the checks pinned in .clang-tidy, plus a
+# clang -Wthread-safety pass over the annotated lock protocols
+# (JR_GUARDED_BY and friends in common/types.h, jrsync::Mutex in
+# common/sync.h). The directory globs below pick up new .cpp files
+# automatically.
 #
 #   scripts/lint.sh [jobs]
 #
 # Uses the compile database from the regular build tree (the top-level
-# CMakeLists.txt always exports compile_commands.json). When clang-tidy is
-# not installed — the minimal gcc-only container — the script says so and
-# exits 0, so tier-1 automation can call it unconditionally.
+# CMakeLists.txt always exports compile_commands.json). When clang-tidy /
+# clang++ is not installed — the minimal gcc-only container — each pass
+# says so and is skipped, and the script exits 0, so tier-1 automation
+# can call it unconditionally.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
+# -- pass 1: clang thread-safety analysis over the annotated TUs ----------
+# The annotations compile to nothing under gcc, so only clang can check
+# them. -Werror promotes any lock-protocol violation to a hard failure.
+CLANGXX="$(command -v clang++ || true)"
+if [[ -z "$CLANGXX" ]]; then
+  echo "lint: clang++ not installed; skipping thread-safety analysis"
+else
+  echo "== lint: clang -Wthread-safety over annotated lock protocols =="
+  TS_FILES=$(ls src/service/*.cpp src/obs/provenance.cpp src/obs/flightrec.cpp)
+  FAIL=0
+  for f in $TS_FILES; do
+    echo "-- $f"
+    "$CLANGXX" -std=c++20 -Isrc -fsyntax-only \
+      -Wthread-safety -Werror=thread-safety-analysis "$f" || FAIL=1
+  done
+  if [[ "$FAIL" -ne 0 ]]; then
+    echo "lint: FAILED (thread-safety)"
+    exit 1
+  fi
+fi
+
+# -- pass 2: clang-tidy with the pinned profile ---------------------------
 TIDY="$(command -v clang-tidy || true)"
 if [[ -z "$TIDY" ]]; then
   echo "lint: clang-tidy not installed; skipping (checks are pinned in .clang-tidy)"
@@ -28,9 +54,9 @@ if [[ ! -f build/compile_commands.json ]]; then
 fi
 
 FILES=$(ls src/service/*.cpp src/core/router.cpp src/analysis/*.cpp \
-           src/obs/*.cpp)
+           src/obs/*.cpp src/verify/*.cpp src/arch/*.cpp src/rrg/*.cpp)
 
-echo "== lint: clang-tidy over service + router + analysis + obs =="
+echo "== lint: clang-tidy over service + router + analysis + obs + verify + arch + rrg =="
 FAIL=0
 for f in $FILES; do
   echo "-- $f"

@@ -4,7 +4,7 @@
 # then a forced-anomaly smoke that schema-checks a flight-recorder dump,
 # then a ThreadSanitizer pass over the concurrent routing service and
 # the telemetry subsystem, then an ASan+UBSan pass over the service, DRC
-# analyzer, and telemetry tests, then a telemetry-compiled-out build
+# analyzer, model-verifier, and telemetry tests, then a telemetry-compiled-out build
 # (-DJROUTE_NO_TELEMETRY) to prove the zero-overhead configuration still
 # builds and passes.
 #
@@ -23,6 +23,17 @@ echo "== tier 1: build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "== tier 1: static model verification (jrverify over every device) =="
+# The model verifier's exit code is its finding count: any architecture,
+# graph, template-library, or slot-table inconsistency on any shipped
+# device fails tier 1 here, before a router ever runs on the broken model.
+build/examples/jrverify
+
+echo
+echo "== tier 1: jrsh help / README sync =="
+scripts/check_jrsh_help.sh build
 
 echo
 echo "== tier 1: bench smoke + run record =="
@@ -70,7 +81,7 @@ cmake -B build-asan -S . -DJROUTE_ASAN=ON -DJROUTE_UBSAN=ON \
   -DJROUTE_BUILD_BENCH=OFF -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$JOBS" --target jr_tests
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'Service|Drc|Obs'
+  -R 'Service|Drc|Obs|Verify'
 
 echo
 echo "== tier 1: telemetry-compiled-out build (JROUTE_NO_TELEMETRY) =="
@@ -78,7 +89,7 @@ cmake -B build-notelem -S . -DJROUTE_NO_TELEMETRY=ON \
   -DJROUTE_BUILD_BENCH=OFF -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-notelem -j "$JOBS" --target jr_tests
 ctest --test-dir build-notelem --output-on-failure -j "$JOBS" \
-  -R 'Service|Drc|Obs'
+  -R 'Service|Drc|Obs|Verify'
 
 echo
 echo "== tier 1: lint =="

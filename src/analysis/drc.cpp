@@ -8,6 +8,7 @@
 #include "bitstream/decoder.h"
 #include "common/error.h"
 #include "obs/flightrec.h"
+#include "obs/jsonutil.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -549,25 +550,10 @@ std::string DrcReport::summary() const {
 
 namespace {
 
+// Shared RFC 8259 escaping from the obs layer; this wrapper only adds the
+// surrounding quotes that DrcReport's hand-rolled emitter expects.
 void jsonEscape(std::ostringstream& os, const std::string& s) {
-  os << '"';
-  for (const char ch : s) {
-    switch (ch) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-          os << buf;
-        } else {
-          os << ch;
-        }
-    }
-  }
-  os << '"';
+  os << '"' << jrobs::jsonEscape(s) << '"';
 }
 
 }  // namespace

@@ -97,6 +97,10 @@ void ArchDb::forEachTilePip(
     throw ArgumentError("forEachTilePip: tile out of range");
   }
   const auto emit = [&](LocalWire from, LocalWire to) {
+    // Degenerate self-loops (a hex "straight continuation" onto its own
+    // track at the Beg tap names the same wire twice) can never carry
+    // signal and are dropped here rather than at every pattern site.
+    if (from == to) return;
     if (existsAt(rc, from) && existsAt(rc, to)) cb(from, to);
   };
 

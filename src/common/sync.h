@@ -1,0 +1,41 @@
+// Annotated synchronisation primitives.
+//
+// libstdc++'s std::mutex carries no clang capability attribute, so code
+// that wants -Wthread-safety checking needs this thin wrapper: the same
+// std::mutex underneath, but declared as a capability so JR_GUARDED_BY /
+// JR_REQUIRES relationships are enforceable. MutexLock is the RAII guard
+// (std::lock_guard is likewise unannotated in libstdc++).
+//
+// Mutex satisfies BasicLockable, so std::condition_variable_any can wait
+// on it directly.
+#pragma once
+
+#include <mutex>
+
+#include "common/types.h"
+
+namespace jrsync {
+
+class JR_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() JR_ACQUIRE() { mu_.lock(); }
+  void unlock() JR_RELEASE() { mu_.unlock(); }
+  bool try_lock() JR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over Mutex, visible to the analysis as a scoped capability.
+class JR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) JR_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() JR_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace jrsync

@@ -11,6 +11,32 @@
 #include <limits>
 #include <string>
 
+// Clang thread-safety analysis annotations. They compile to nothing on
+// other compilers (the container builds with gcc), but when clang++ is
+// available, scripts/lint.sh runs a -Wthread-safety pass over the
+// concurrency-bearing layers and these make lock protocols checkable:
+// which mutex guards which member, which functions expect it held.
+// Applied to jrsync::Mutex (common/sync.h), the service queue, and the
+// obs stores with internal locking.
+#if defined(__clang__)
+#define JR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define JR_THREAD_ANNOTATION(x)
+#endif
+
+#define JR_CAPABILITY(x) JR_THREAD_ANNOTATION(capability(x))
+#define JR_SCOPED_CAPABILITY JR_THREAD_ANNOTATION(scoped_lockable)
+#define JR_GUARDED_BY(x) JR_THREAD_ANNOTATION(guarded_by(x))
+#define JR_PT_GUARDED_BY(x) JR_THREAD_ANNOTATION(pt_guarded_by(x))
+#define JR_REQUIRES(...) JR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define JR_ACQUIRE(...) JR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define JR_RELEASE(...) JR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define JR_TRY_ACQUIRE(...) \
+  JR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define JR_EXCLUDES(...) JR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define JR_NO_THREAD_SAFETY_ANALYSIS \
+  JR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
 namespace xcvsim {
 
 /// Row/column coordinate of a CLB tile. Row 0 is the south edge, column 0

@@ -296,8 +296,8 @@ void Router::routeSink(NetId net, NodeId srcNode, const Pin& srcPin,
       manhattan(srcPin.rc, sinkPin.rc) <= opts_.templateMaxDistance) {
     const bool srcIsOutput = wireKind(srcPin.wire) == WireKind::SliceOut;
     const bool dstIsInput = wireKind(sinkPin.wire) == WireKind::ClbIn;
-    for (const auto& tmpl :
-         templatesFor(srcPin.rc, sinkPin.rc, srcIsOutput, dstIsInput)) {
+    for (const auto& tmpl : templatesFor(fabric_->graph().device(), srcPin.rc,
+                                         sinkPin.rc, srcIsOutput, dstIsInput)) {
       ++stats_.templateAttempts;
       const TemplateResult res = followTemplate(
           *fabric_, srcNode, tmpl, sinkNode, kInvalidLocalWire, opts_);

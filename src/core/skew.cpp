@@ -65,8 +65,8 @@ std::vector<std::vector<TemplateValue>> paddedTemplates(
       xcvsim::wireKind(srcPin.wire) == xcvsim::WireKind::SliceOut;
   const bool dstIsIn =
       xcvsim::wireKind(sinkPin.wire) == xcvsim::WireKind::ClbIn;
-  auto base = templatesFor(srcPin.rc, sinkPin.rc, srcIsOut, dstIsIn);
-  (void)g;
+  auto base =
+      templatesFor(g.device(), srcPin.rc, sinkPin.rc, srcIsOut, dstIsIn);
   std::vector<std::vector<TemplateValue>> out;
   for (auto& t : base) {
     std::vector<TemplateValue> padded;

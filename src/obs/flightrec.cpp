@@ -8,8 +8,9 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
+
+#include "common/sync.h"
 #endif
 
 namespace jrobs {
@@ -38,14 +39,14 @@ FlightMetrics& flightMetrics() {
 }  // namespace
 
 struct FlightRecorder::Impl {
-  mutable std::mutex mu;
-  std::vector<FlightEvent> ring{kRingCapacity};
-  size_t head = 0;    // next write slot
-  size_t count = 0;   // valid entries (<= kRingCapacity)
-  bool armed = false;
-  std::string dir;
-  uint64_t nextSeq = 1;
-  uint64_t anomalies = 0;
+  mutable jrsync::Mutex mu;
+  std::vector<FlightEvent> ring JR_GUARDED_BY(mu){kRingCapacity};
+  size_t head JR_GUARDED_BY(mu) = 0;   // next write slot
+  size_t count JR_GUARDED_BY(mu) = 0;  // valid entries (<= kRingCapacity)
+  bool armed JR_GUARDED_BY(mu) = false;
+  std::string dir JR_GUARDED_BY(mu);
+  uint64_t nextSeq JR_GUARDED_BY(mu) = 1;
+  uint64_t anomalies JR_GUARDED_BY(mu) = 0;
   std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
 
@@ -56,8 +57,8 @@ struct FlightRecorder::Impl {
             .count());
   }
 
-  // Caller holds mu. Oldest-first walk of the ring.
-  std::string eventsJson() const {
+  // Oldest-first walk of the ring.
+  std::string eventsJson() const JR_REQUIRES(mu) {
     std::string out = "[";
     for (size_t i = 0; i < count; ++i) {
       const size_t idx = (head + kRingCapacity - count + i) % kRingCapacity;
@@ -76,6 +77,7 @@ struct FlightRecorder::Impl {
 FlightRecorder::FlightRecorder() : impl_(new Impl) {
   if (const char* dir = std::getenv("JROUTE_FLIGHT_DIR")) {
     if (dir[0] != '\0') {
+      jrsync::MutexLock lock(impl_->mu);
       impl_->armed = true;
       impl_->dir = dir;
     }
@@ -90,7 +92,7 @@ FlightRecorder& FlightRecorder::instance() {
 void FlightRecorder::note(const char* cat, const char* name, uint64_t a,
                           uint64_t b) {
   flightMetrics().notes.add();
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   FlightEvent& slot = impl_->ring[impl_->head];
   slot.tsNs = impl_->nowNs();
   slot.cat = cat;
@@ -102,24 +104,24 @@ void FlightRecorder::note(const char* cat, const char* name, uint64_t a,
 }
 
 void FlightRecorder::arm(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   impl_->armed = true;
   impl_->dir = dir;
 }
 
 void FlightRecorder::disarm() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   impl_->armed = false;
   impl_->dir.clear();
 }
 
 bool FlightRecorder::armed() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   return impl_->armed;
 }
 
 std::string FlightRecorder::dir() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   return impl_->dir;
 }
 
@@ -130,7 +132,7 @@ std::string FlightRecorder::anomaly(const std::string& kind,
   registry().counter("obs.flightrec.anomaly." + kind).add();
 
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    jrsync::MutexLock lock(impl_->mu);
     ++impl_->anomalies;
     if (!impl_->armed) return "";
   }
@@ -143,7 +145,7 @@ std::string FlightRecorder::anomaly(const std::string& kind,
   std::string bundle;
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    jrsync::MutexLock lock(impl_->mu);
     if (!impl_->armed) return "";  // disarmed between the checks
     const uint64_t seq = impl_->nextSeq++;
     path = impl_->dir + "/flightrec-" + u64(seq) + "-" + kind + ".json";
@@ -168,17 +170,17 @@ std::string FlightRecorder::anomaly(const std::string& kind,
 }
 
 size_t FlightRecorder::eventCount() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   return impl_->count;
 }
 
 uint64_t FlightRecorder::anomalyCount() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   return impl_->anomalies;
 }
 
 void FlightRecorder::clear() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   impl_->head = 0;
   impl_->count = 0;
 }

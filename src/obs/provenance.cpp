@@ -7,7 +7,8 @@
 
 #ifndef JROUTE_NO_TELEMETRY
 #include <map>
-#include <mutex>
+
+#include "common/sync.h"
 #endif
 
 namespace jrobs {
@@ -74,23 +75,24 @@ const char* classifyAlgorithm(uint64_t templateHits, uint64_t mazeRuns,
 #ifndef JROUTE_NO_TELEMETRY
 
 struct ProvenanceStore::Impl {
-  mutable std::mutex mu;
-  size_t capacity;
-  uint64_t nextSeq = 1;
+  mutable jrsync::Mutex mu;
+  size_t capacity JR_GUARDED_BY(mu) = 0;
+  uint64_t nextSeq JR_GUARDED_BY(mu) = 1;
   // Keyed by net source: the "exactly one record per net" invariant is
   // the map key, not a scan. seqIndex orders eviction and `last()`.
-  std::map<uint64_t, NetProvenance> bySource;
-  std::map<uint64_t, uint64_t> seqIndex;  // seq -> source
+  std::map<uint64_t, NetProvenance> bySource JR_GUARDED_BY(mu);
+  std::map<uint64_t, uint64_t> seqIndex JR_GUARDED_BY(mu);  // seq -> source
 };
 
 ProvenanceStore::ProvenanceStore(size_t capacity) : impl_(new Impl) {
+  jrsync::MutexLock lock(impl_->mu);
   impl_->capacity = capacity == 0 ? 1 : capacity;
 }
 
 ProvenanceStore::~ProvenanceStore() { delete impl_; }
 
 void ProvenanceStore::record(NetProvenance rec) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   auto it = impl_->bySource.find(rec.netSource);
   if (it != impl_->bySource.end()) {
     // The net was extended by a later request: the new record supersedes
@@ -108,20 +110,20 @@ void ProvenanceStore::record(NetProvenance rec) {
 }
 
 std::optional<NetProvenance> ProvenanceStore::find(uint64_t netSource) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   auto it = impl_->bySource.find(netSource);
   if (it == impl_->bySource.end()) return std::nullopt;
   return it->second;
 }
 
 std::optional<NetProvenance> ProvenanceStore::last() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   if (impl_->seqIndex.empty()) return std::nullopt;
   return impl_->bySource.at(impl_->seqIndex.rbegin()->second);
 }
 
 void ProvenanceStore::forget(uint64_t netSource) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   auto it = impl_->bySource.find(netSource);
   if (it == impl_->bySource.end()) return;
   impl_->seqIndex.erase(it->second.seq);
@@ -129,18 +131,18 @@ void ProvenanceStore::forget(uint64_t netSource) {
 }
 
 size_t ProvenanceStore::size() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   return impl_->bySource.size();
 }
 
 void ProvenanceStore::clear() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   impl_->bySource.clear();
   impl_->seqIndex.clear();
 }
 
 std::string ProvenanceStore::json() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   std::string out = "{\"provenance\":[";
   bool first = true;
   for (const auto& [seq, source] : impl_->seqIndex) {

@@ -1,15 +1,18 @@
 #include "router/template_lib.h"
 
-#include <array>
-
-#include "arch/device.h"
+#include <set>
+#include <utility>
 
 namespace jroute {
 
+using xcvsim::DeviceSpec;
 using xcvsim::Dir;
 using xcvsim::hexValue;
 using xcvsim::kHexSpan;
+using xcvsim::opposite;
 using xcvsim::singleValue;
+using xcvsim::templateDCol;
+using xcvsim::templateDRow;
 
 namespace {
 
@@ -41,15 +44,58 @@ std::vector<AxisPlan> axisPlans(int delta, Dir fwd, Dir back) {
   return plans;
 }
 
-void appendAxis(Seq& seq, const AxisPlan& plan) {
+void appendHexes(Seq& seq, const AxisPlan& plan) {
   for (int i = 0; i < plan.hexes; ++i) seq.push_back(plan.hexStep);
+}
+
+void appendSingles(Seq& seq, const AxisPlan& plan) {
   for (int i = 0; i < plan.singles; ++i) seq.push_back(plan.singleStep);
+}
+
+bool isHexStep(TemplateValue v) {
+  switch (v) {
+    case TemplateValue::EAST6:
+    case TemplateValue::WEST6:
+    case TemplateValue::NORTH6:
+    case TemplateValue::SOUTH6:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// A zero-displacement rectangle of four singles around `at`, oriented so
+/// every corner stays inside the device. Used both for same-tile detours
+/// and to step a terminal hex down to the single layer (hexes cannot
+/// drive CLB inputs directly).
+Seq cornerLoop(const DeviceSpec& dev, RowCol at, bool verticalFirst) {
+  const Dir hd = at.col + 1 < dev.cols ? Dir::East : Dir::West;
+  const Dir vd = at.row + 1 < dev.rows ? Dir::North : Dir::South;
+  if (verticalFirst) {
+    return {singleValue(vd), singleValue(hd), singleValue(opposite(vd)),
+            singleValue(opposite(hd))};
+  }
+  return {singleValue(hd), singleValue(vd), singleValue(opposite(hd)),
+          singleValue(opposite(vd))};
+}
+
+/// Walk the body's nominal tile positions from `from`; false if any step
+/// lands outside the device (overshoot hexes can poke past the edge).
+bool staysInBounds(const DeviceSpec& dev, RowCol from, const Seq& body) {
+  int r = from.row;
+  int c = from.col;
+  for (TemplateValue v : body) {
+    r += templateDRow(v);
+    c += templateDCol(v);
+    if (r < 0 || r >= dev.rows || c < 0 || c >= dev.cols) return false;
+  }
+  return true;
 }
 
 }  // namespace
 
-std::vector<Seq> templatesFor(RowCol from, RowCol to, bool srcIsOutput,
-                              bool dstIsInput) {
+std::vector<Seq> templatesFor(const DeviceSpec& dev, RowCol from, RowCol to,
+                              bool srcIsOutput, bool dstIsInput) {
   const int dr = to.row - from.row;
   const int dc = to.col - from.col;
   std::vector<Seq> bodies;
@@ -57,35 +103,49 @@ std::vector<Seq> templatesFor(RowCol from, RowCol to, bool srcIsOutput,
   if (dr == 0 && dc == 0 && srcIsOutput && dstIsInput) {
     // Same-tile: the dedicated feedback PIP is a single hop to CLBIN.
     bodies.push_back({});
-    // Or out on a single and back on the opposite one (out-and-return).
-    bodies.push_back({singleValue(Dir::East), singleValue(Dir::West)});
-    bodies.push_back({singleValue(Dir::North), singleValue(Dir::South)});
+    // Or out and back around a rectangle of singles. A straight U-turn in
+    // the same channel is not a legal PIP pattern, so the detour has area.
+    bodies.push_back(cornerLoop(dev, from, false));
+    bodies.push_back(cornerLoop(dev, from, true));
   } else if (dr == 0 && (dc == 1 || dc == -1) && srcIsOutput && dstIsInput) {
     // Horizontal neighbours: the dedicated direct connect, single hop.
     bodies.push_back({});
-    bodies.push_back({singleValue(dc > 0 ? Dir::East : Dir::West)});
   }
 
   const auto rowPlans = axisPlans(dr, Dir::North, Dir::South);
   const auto colPlans = axisPlans(dc, Dir::East, Dir::West);
   for (const AxisPlan& rp : rowPlans) {
     for (const AxisPlan& cp : colPlans) {
+      // Hexes lead in every ordering: singles cannot drive hexes, so a
+      // hex step after the first single step would never replay.
       Seq colFirst;
-      appendAxis(colFirst, cp);
-      appendAxis(colFirst, rp);
-      bodies.push_back(colFirst);
+      appendHexes(colFirst, cp);
+      appendHexes(colFirst, rp);
+      appendSingles(colFirst, cp);
+      appendSingles(colFirst, rp);
+      bodies.push_back(std::move(colFirst));
       if (dr != 0 && dc != 0) {
         Seq rowFirst;
-        appendAxis(rowFirst, rp);
-        appendAxis(rowFirst, cp);
-        bodies.push_back(rowFirst);
+        appendHexes(rowFirst, rp);
+        appendHexes(rowFirst, cp);
+        appendSingles(rowFirst, rp);
+        appendSingles(rowFirst, cp);
+        bodies.push_back(std::move(rowFirst));
       }
     }
   }
 
   std::vector<Seq> out;
+  std::set<Seq> seen;
   out.reserve(bodies.size());
   for (Seq& body : bodies) {
+    // Hexes cannot drive CLB inputs: step a terminal hex down to the
+    // single layer with a zero-displacement loop around the sink tile.
+    if (dstIsInput && !body.empty() && isHexStep(body.back())) {
+      const Seq loop = cornerLoop(dev, to, false);
+      body.insert(body.end(), loop.begin(), loop.end());
+    }
+    if (!staysInBounds(dev, from, body)) continue;
     Seq t;
     // Suppress OUTMUX for the zero-length bodies: those rely on the
     // dedicated feedback / direct-connect PIPs straight off the output.
@@ -93,6 +153,7 @@ std::vector<Seq> templatesFor(RowCol from, RowCol to, bool srcIsOutput,
     t.insert(t.end(), body.begin(), body.end());
     if (dstIsInput) t.push_back(TemplateValue::CLBIN);
     if (t.empty()) continue;
+    if (!seen.insert(t).second) continue;
     out.push_back(std::move(t));
   }
   return out;

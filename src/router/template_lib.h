@@ -7,15 +7,28 @@
 //  would be to reduce the search space." (section 3.1)
 //
 // Templates decompose the tile displacement into hex (6-tile) and single
-// (1-tile) steps in a few orderings, bracketed by OUTMUX on the source
-// side and CLBIN on the sink side when the endpoints are logic pins.
-// Long lines are deliberately absent here (their exit point is data-
-// dependent, so fixed templates cannot target an exact sink); the maze
-// fallback exploits them instead.
+// (1-tile) steps, bracketed by OUTMUX on the source side and CLBIN on the
+// sink side when the endpoints are logic pins. Three structural rules of
+// the switch matrix shape every generated sequence (jrverify's tpl-replay
+// rule holds the generator to them):
+//   - singles never drive hexes, so all hex steps precede the first
+//     single step in every ordering;
+//   - hexes never drive CLB inputs, so a body that would end on a hex is
+//     extended with a zero-displacement rectangle of four singles around
+//     the sink tile (oriented to stay inside the device);
+//   - a single cannot drive the opposite single in its own channel, so
+//     the same-tile out-and-return detours are rectangles, not U-turns.
+// Overshoot variants (one extra hex, then singles back) can poke past the
+// device edge; bodies whose nominal tile walk leaves the device are
+// dropped, which is why generation needs the DeviceSpec. Long lines are
+// deliberately absent here (their exit point is data-dependent, so fixed
+// templates cannot target an exact sink); the maze fallback exploits them
+// instead.
 #pragma once
 
 #include <vector>
 
+#include "arch/device.h"
 #include "arch/template_value.h"
 #include "common/types.h"
 
@@ -24,11 +37,11 @@ namespace jroute {
 using xcvsim::RowCol;
 using xcvsim::TemplateValue;
 
-/// Candidate templates for routing from tile `from` to tile `to`.
+/// Candidate templates for routing from tile `from` to tile `to` on `dev`.
 /// `srcIsOutput`: prepend OUTMUX (source is a slice output pin).
 /// `dstIsInput`: append CLBIN (sink is a CLB input pin).
-std::vector<std::vector<TemplateValue>> templatesFor(RowCol from, RowCol to,
-                                                     bool srcIsOutput,
-                                                     bool dstIsInput);
+std::vector<std::vector<TemplateValue>> templatesFor(
+    const xcvsim::DeviceSpec& dev, RowCol from, RowCol to, bool srcIsOutput,
+    bool dstIsInput);
 
 }  // namespace jroute

@@ -250,8 +250,9 @@ bool Planner::planSink(uint32_t owner, Plan& plan, PlannedNet& net,
         manhattan(srcPin.rc, sinkPin.rc) <= opts_.templateMaxDistance) {
       const bool srcIsOutput = wireKind(srcPin.wire) == WireKind::SliceOut;
       const bool dstIsInput = wireKind(sinkPin.wire) == WireKind::ClbIn;
-      for (const auto& tmpl : jroute::templatesFor(srcPin.rc, sinkPin.rc,
-                                                   srcIsOutput, dstIsInput)) {
+      for (const auto& tmpl :
+           jroute::templatesFor(fabric_->graph().device(), srcPin.rc,
+                                sinkPin.rc, srcIsOutput, dstIsInput)) {
         const jroute::TemplateResult res =
             followTemplate(*fabric_, net.srcNode, tmpl, sinkNode,
                            xcvsim::kInvalidLocalWire, opts_);

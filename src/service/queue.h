@@ -5,13 +5,19 @@
 // construction: tryPush never blocks and fails when the queue is at
 // capacity, which the service turns into Rejected{kOverloaded} so an
 // overloaded server sheds load instead of growing an unbounded backlog.
+//
+// Lock protocol is annotated for clang's thread-safety analysis: every
+// mutable member is guarded by mu_; the condition variable waits on the
+// annotated jrsync::Mutex directly (condition_variable_any only needs
+// BasicLockable).
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace jrsvc {
 
@@ -23,7 +29,7 @@ class BoundedQueue {
   /// Enqueue without blocking. False when full or closed.
   bool tryPush(T&& item) {
     {
-      std::lock_guard lk(mu_);
+      jrsync::MutexLock lk(mu_);
       if (closed_ || items_.size() >= cap_) return false;
       items_.push_back(std::move(item));
     }
@@ -35,9 +41,10 @@ class BoundedQueue {
   /// item (zero = poll). Returns the number of items drained.
   size_t drain(std::vector<T>& out, size_t maxItems,
                std::chrono::milliseconds wait) {
-    std::unique_lock lk(mu_);
+    jrsync::MutexLock lk(mu_);
     if (items_.empty() && wait.count() > 0) {
-      cv_.wait_for(lk, wait, [&] { return !items_.empty() || closed_; });
+      cv_.wait_for(mu_, wait,
+                   [&]() JR_REQUIRES(mu_) { return !items_.empty() || closed_; });
     }
     size_t n = 0;
     while (n < maxItems && !items_.empty()) {
@@ -51,28 +58,28 @@ class BoundedQueue {
   /// Stop accepting new items and wake the consumer.
   void close() {
     {
-      std::lock_guard lk(mu_);
+      jrsync::MutexLock lk(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard lk(mu_);
+    jrsync::MutexLock lk(mu_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard lk(mu_);
+    jrsync::MutexLock lk(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
+  mutable jrsync::Mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<T> items_ JR_GUARDED_BY(mu_);
   size_t cap_;
-  bool closed_ = false;
+  bool closed_ JR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace jrsvc

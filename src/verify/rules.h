@@ -1,0 +1,32 @@
+// Internal glue between the rule catalogue files and the registry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/verify.h"
+
+namespace jrverify {
+
+std::vector<const Rule*> archRules();
+std::vector<const Rule*> rrgRules();
+std::vector<const Rule*> templateRules();
+std::vector<const Rule*> bitstreamRules();
+
+/// Findings reported per rule are capped so one systemic breakage does not
+/// drown the report (the exit code still counts every *reported* finding).
+inline constexpr size_t kMaxFindingsPerRule = 8;
+
+/// Append a finding unless the rule already hit its cap.
+void addFinding(const Rule& rule, VerifyReport& out, std::string entity,
+                std::string message, std::string hint);
+
+/// "(r,c)" anchor fragment for entity strings.
+std::string tileName(RowCol rc);
+
+/// Is this graph edge live under the view's (optional) edge filter?
+inline bool edgeLive(const ModelView& m, EdgeId e) {
+  return !m.edgeEnabled || m.edgeEnabled(e);
+}
+
+}  // namespace jrverify

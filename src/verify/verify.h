@@ -1,0 +1,164 @@
+// jrverify: a static analyzer for the routing *model*.
+//
+// The paper's architecture-independence story rests on the correctness of
+// the architecture description class — wire ids, lengths, directions,
+// drives/driven-by relations, template values — yet a corrupt wire table
+// or an illegal template-library entry would otherwise only surface as a
+// mysterious maze-search failure deep in the service. The runtime DRC
+// (src/analysis) audits fabric *state* after routing; this module is its
+// compile-time counterpart, the way VTR's check_rr_graph validates the
+// routing-resource graph before any router runs. It checks four layers:
+//
+//   arch       the description class is self-consistent (pip symmetry,
+//              wire geometry, pattern ranges, the paper's driver-class
+//              matrix, template-value classification)
+//   rrg        the graph is bijective with the description, every sink is
+//              reachable, no node is orphaned
+//   template   every generated template replays to a legal contention-free
+//              path on a clean fabric and stays in-bounds at device edges
+//   bitstream  the PIP table round-trips through encode/decode and no two
+//              logical PIPs share a configuration bit
+//
+// Rules run against a ModelView — a bundle of hookable accessors that
+// default to the real model. The mutation harness (tests/verify_test.cpp)
+// overrides exactly one hook per rule to prove the rule live, mirroring
+// the FabricMutator pattern of the runtime DRC tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arch/arch_db.h"
+#include "arch/device.h"
+#include "bitstream/bitstream.h"
+#include "bitstream/decoder.h"
+#include "bitstream/pip_table.h"
+#include "common/types.h"
+#include "fabric/fabric.h"
+#include "rrg/graph.h"
+
+namespace jrverify {
+
+using xcvsim::DeviceSpec;
+using xcvsim::EdgeId;
+using xcvsim::LocalWire;
+using xcvsim::NodeId;
+using xcvsim::RowCol;
+using xcvsim::TemplateValue;
+
+enum class Layer : uint8_t { kArch, kRrg, kTemplate, kBitstream };
+
+const char* layerName(Layer layer);
+
+/// One model inconsistency, anchored to the entity that violates it.
+struct Finding {
+  std::string rule;    // id of the rule that fired
+  Layer layer = Layer::kArch;
+  std::string entity;  // offending entity ("(3,4) SingleEast[5]", "slot 17")
+  std::string message; // what is inconsistent
+  std::string hint;    // fix-it hint: where to look / what to restore
+};
+
+/// Deterministic result of one verification run over one device.
+struct VerifyReport {
+  std::string device;
+  std::vector<Finding> findings;
+  std::vector<std::string> rulesRun;
+
+  // Coverage counters (what the sampled rules actually touched).
+  size_t tilesSampled = 0;
+  size_t wiresChecked = 0;
+  size_t pipsChecked = 0;
+  size_t nodesChecked = 0;
+  size_t edgesChecked = 0;
+  size_t templatesChecked = 0;
+  size_t slotsChecked = 0;
+
+  int64_t buildUs = 0;   // graph + pip-table construction (verifyDevice)
+  int64_t verifyUs = 0;  // rule execution
+
+  bool clean() const { return findings.empty(); }
+  bool firedRule(std::string_view id) const;
+
+  /// Human-readable multi-line report.
+  std::string summary() const;
+  /// Machine-readable single-object JSON.
+  std::string json() const;
+};
+
+/// The model under verification: backing objects plus hookable accessors.
+/// Defaults (makeModelView) delegate to the real model; the mutation
+/// harness replaces one hook to seed a corruption.
+struct ModelView {
+  const DeviceSpec* dev = nullptr;
+  const xcvsim::Graph* graph = nullptr;
+  const xcvsim::PipTable* table = nullptr;
+  xcvsim::Fabric* fabric = nullptr;  // clean scratch fabric for replay
+
+  // --- arch layer ---
+  std::function<xcvsim::WireInfo(LocalWire)> wireInfo;
+  std::function<bool(RowCol, LocalWire)> existsAt;
+  std::function<void(RowCol, const std::function<void(LocalWire, LocalWire)>&)>
+      tilePips;
+  std::function<void(RowCol,
+                     const std::function<void(LocalWire, RowCol, LocalWire)>&)>
+      directs;
+  std::function<std::vector<LocalWire>(RowCol, LocalWire)> drives;
+  std::function<std::vector<LocalWire>(RowCol, LocalWire)> drivenBy;
+  std::function<bool(RowCol, LocalWire, LocalWire)> canDrive;
+
+  // --- rrg layer ---
+  std::function<NodeId(RowCol, LocalWire)> nodeAt;
+  std::function<LocalWire(NodeId, RowCol)> aliasAt;
+  std::function<TemplateValue(NodeId, const xcvsim::Edge&)> templateValue;
+  /// Null means "every graph edge is live" (the fast path); the mutation
+  /// harness installs a filter to sever edges without rebuilding a graph.
+  std::function<bool(EdgeId)> edgeEnabled;
+
+  // --- template layer ---
+  std::function<std::vector<std::vector<TemplateValue>>(RowCol, RowCol)>
+      templates;
+
+  // --- bitstream layer ---
+  std::function<int(const xcvsim::PipKey&)> slotOf;
+  std::function<xcvsim::PipKey(int)> keyAt;
+  std::function<int()> bitsPerTileRow;
+  std::function<std::vector<xcvsim::DecodedPip>(const xcvsim::Bitstream&)>
+      decode;
+};
+
+/// View with every hook bound to the real model objects.
+ModelView makeModelView(const xcvsim::Graph& graph,
+                        const xcvsim::PipTable& table,
+                        xcvsim::Fabric& fabric);
+
+/// Representative tiles for the sampled rules: all four corners, edge
+/// midpoints, an interior block, and tiles at both phases of the long-line
+/// access period. Deterministic for a given device.
+std::vector<RowCol> sampleTiles(const DeviceSpec& dev);
+
+/// One model rule. Rules are stateless singletons; run() appends findings.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const char* id() const = 0;
+  virtual Layer layer() const = 0;
+  virtual const char* description() const = 0;
+  virtual void run(const ModelView& m, VerifyReport& out) const = 0;
+};
+
+/// The rule registry, in catalogue order (arch, rrg, template, bitstream).
+const std::vector<const Rule*>& allRules();
+const Rule* ruleById(std::string_view id);
+
+/// Run every rule over the view.
+VerifyReport runVerify(const ModelView& m);
+
+/// Build graph/table/fabric for `dev` and verify it. Records build and
+/// verify wall-times separately in the report.
+VerifyReport verifyDevice(const DeviceSpec& dev);
+
+}  // namespace jrverify

@@ -38,7 +38,7 @@ class EnginesTest : public ::testing::Test {
 
 TEST_F(EnginesTest, TemplateLibExactDecomposition) {
   // (0,0) -> (2,9): 1 hex east + 3 singles east + 2 singles north.
-  const auto ts = templatesFor({0, 0}, {2, 9}, true, true);
+  const auto ts = templatesFor(xcvsim::xcv50(), {0, 0}, {2, 9}, true, true);
   ASSERT_FALSE(ts.empty());
   bool foundCanonical = false;
   for (const auto& t : ts) {
@@ -60,7 +60,7 @@ TEST_F(EnginesTest, TemplateLibExactDecomposition) {
 
 TEST_F(EnginesTest, TemplateLibOvershootVariant) {
   // Remainder 5 admits an overshoot: 1 hex + 1 single back.
-  const auto ts = templatesFor({0, 0}, {0, 5}, true, true);
+  const auto ts = templatesFor(xcvsim::xcv50(), {0, 0}, {0, 5}, true, true);
   bool overshoot = false;
   for (const auto& t : ts) {
     int east6 = 0, west1 = 0;
@@ -75,14 +75,14 @@ TEST_F(EnginesTest, TemplateLibOvershootVariant) {
 
 TEST_F(EnginesTest, TemplateLibSameTileAndNeighbour) {
   // Same-tile: the feedback variant is a bare {CLBIN}.
-  const auto same = templatesFor({3, 3}, {3, 3}, true, true);
+  const auto same = templatesFor(xcvsim::xcv50(), {3, 3}, {3, 3}, true, true);
   bool feedback = false;
   for (const auto& t : same) {
     feedback = feedback || (t.size() == 1 && t[0] == TemplateValue::CLBIN);
   }
   EXPECT_TRUE(feedback);
   // Neighbour: the direct-connect variant too.
-  const auto nb = templatesFor({3, 3}, {3, 4}, true, true);
+  const auto nb = templatesFor(xcvsim::xcv50(), {3, 3}, {3, 4}, true, true);
   bool direct = false;
   for (const auto& t : nb) {
     direct = direct || (t.size() == 1 && t[0] == TemplateValue::CLBIN);
@@ -91,7 +91,7 @@ TEST_F(EnginesTest, TemplateLibSameTileAndNeighbour) {
 }
 
 TEST_F(EnginesTest, TemplateLibRowFirstAndColFirstOrders) {
-  const auto ts = templatesFor({0, 0}, {7, 7}, true, true);
+  const auto ts = templatesFor(xcvsim::xcv50(), {0, 0}, {7, 7}, true, true);
   bool rowFirst = false, colFirst = false;
   for (const auto& t : ts) {
     if (t.size() < 2) continue;
@@ -281,7 +281,7 @@ TEST_P(DisplacementSweep, EveryTemplateLandsExactly) {
   const RowCol from{8, 12};
   const RowCol to{static_cast<int16_t>(8 + dr),
                   static_cast<int16_t>(12 + dc)};
-  for (const auto& t : templatesFor(from, to, true, true)) {
+  for (const auto& t : templatesFor(xcvsim::xcv50(), from, to, true, true)) {
     int adr = 0, adc = 0;
     bool directional = false;
     for (TemplateValue v : t) {
