@@ -29,6 +29,10 @@ int main() {
     RouterOptions opts;
     opts.templateFirst = false;
     opts.heuristicWeight = w;
+    // This experiment ablates the *legacy* manhattan heuristic; with the
+    // lookahead on, heuristicWeight is never consulted (see E18 for the
+    // lookahead's own ablation).
+    opts.useLookahead = false;
     Router router(dev.fabric, opts);
     int failed = 0;
     const double ms = 1e3 * jrbench::secondsOf([&] {

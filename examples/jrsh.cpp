@@ -22,6 +22,7 @@
 #include "analysis/drc.h"
 #include "bitstream/bitfile.h"
 #include "core/router.h"
+#include "lookahead/lookahead.h"
 #include "obs/flightrec.h"
 #include "obs/heatmap.h"
 #include "obs/metrics.h"
@@ -346,6 +347,17 @@ bool cmdVerify(Session& s, std::istringstream& ls) {
   return true;
 }
 
+bool cmdLookahead(Session& s, std::istringstream& ls) {
+  // The per-device routing lookahead (src/lookahead): build cost, table
+  // shape, quantization. Resolving it here warms the process-wide cache
+  // the Router and Planner share, so this is also a bring-up primitive.
+  std::string fmt;
+  ls >> fmt;
+  const jrla::Lookahead& la = jrla::Lookahead::forGraph(*s.graph);
+  std::cout << (fmt == "json" ? la.statsJson() + "\n" : la.statsText());
+  return true;
+}
+
 bool cmdWhy(Session& s, std::istringstream& ls) {
   // Provenance of the net occupying a wire: which request routed it,
   // through which engine, at what cost. `why <pin> json` for machines.
@@ -487,7 +499,9 @@ std::span<const Command> commandTable() {
       {"drc", "[json]", "run the design-rule checker over the current "
        "design", true, cmdDrc},
       {"verify", "[json]", "statically verify the device model "
-       "(arch/rrg/template/bitstream rules)", true, cmdVerify},
+       "(arch/rrg/template/bitstream/lookahead rules)", true, cmdVerify},
+      {"lookahead", "[json]", "per-device routing lookahead: build cost "
+       "and table shape", true, cmdLookahead},
       {"stats", "[json|reset]", "telemetry registry snapshot; reset also "
        "clears rings and heatmaps", false, cmdStats},
       {"why", "<r> <c> <wire> [json]", "provenance of the net holding a "

@@ -23,5 +23,6 @@ echo "recording to $JROUTE_BENCH_RECORD"
 "$BUILD/bench/bench_service_throughput" "${BENCH_PRODUCERS:-4}" "${BENCH_REPS:-3}"
 "$BUILD/bench/bench_e3_template_vs_maze"
 "$BUILD/bench/bench_e6_greedy_vs_pathfinder"
+"$BUILD/bench/bench_e18_lookahead"
 
 echo "done: $(wc -l < "$JROUTE_BENCH_RECORD") record(s) in BENCH_service.json"

@@ -54,9 +54,10 @@ if [[ ! -f build/compile_commands.json ]]; then
 fi
 
 FILES=$(ls src/service/*.cpp src/core/router.cpp src/analysis/*.cpp \
-           src/obs/*.cpp src/verify/*.cpp src/arch/*.cpp src/rrg/*.cpp)
+           src/obs/*.cpp src/verify/*.cpp src/arch/*.cpp src/rrg/*.cpp \
+           src/lookahead/*.cpp)
 
-echo "== lint: clang-tidy over service + router + analysis + obs + verify + arch + rrg =="
+echo "== lint: clang-tidy over service + router + analysis + obs + verify + arch + rrg + lookahead =="
 FAIL=0
 for f in $FILES; do
   echo "-- $f"

@@ -73,7 +73,7 @@ cmake -B build-tsan -S . -DJROUTE_TSAN=ON -DJROUTE_BUILD_BENCH=OFF \
   -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "$JOBS" --target jr_tests
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'Service|Obs'
+  -R 'Service|Obs|Lookahead'
 
 echo
 echo "== tier 1: ASan+UBSan pass (service + DRC analyzer + telemetry) =="
@@ -81,7 +81,7 @@ cmake -B build-asan -S . -DJROUTE_ASAN=ON -DJROUTE_UBSAN=ON \
   -DJROUTE_BUILD_BENCH=OFF -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$JOBS" --target jr_tests
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'Service|Drc|Obs|Verify'
+  -R 'Service|Drc|Obs|Verify|Lookahead'
 
 echo
 echo "== tier 1: telemetry-compiled-out build (JROUTE_NO_TELEMETRY) =="
@@ -89,7 +89,7 @@ cmake -B build-notelem -S . -DJROUTE_NO_TELEMETRY=ON \
   -DJROUTE_BUILD_BENCH=OFF -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-notelem -j "$JOBS" --target jr_tests
 ctest --test-dir build-notelem --output-on-failure -j "$JOBS" \
-  -R 'Service|Drc|Obs|Verify'
+  -R 'Service|Drc|Obs|Verify|Lookahead'
 
 echo
 echo "== tier 1: lint =="

@@ -5,6 +5,7 @@
 
 #include "arch/wires.h"
 #include "common/error.h"
+#include "lookahead/lookahead.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "router/path_engine.h"
@@ -89,7 +90,13 @@ bool canDriveNet(const Graph& g, NodeId n) {
 }
 
 Router::Router(Fabric& fabric, RouterOptions opts)
-    : fabric_(&fabric), opts_(opts), maze_(fabric.graph()) {}
+    : fabric_(&fabric), opts_(opts), maze_(fabric.graph()) {
+  // Resolve the shared per-device lookahead once; every search and every
+  // selector decision then reads the same immutable table.
+  if (opts_.useLookahead && opts_.lookahead == nullptr) {
+    opts_.lookahead = &jrla::Lookahead::forGraph(fabric.graph());
+  }
+}
 
 NodeId Router::pinNode(const Pin& pin) const {
   const NodeId n = fabric_->graph().nodeAt(pin.rc, pin.wire);
@@ -292,21 +299,52 @@ void Router::routeSink(NetId net, NodeId srcNode, const Pin& srcPin,
     }
   }
 
-  if (tryTemplates && opts_.templateFirst &&
-      manhattan(srcPin.rc, sinkPin.rc) <= opts_.templateMaxDistance) {
+  if (tryTemplates) {
+    // Strategy selection replaces the old fixed template-then-maze
+    // ordering: the lookahead's cost bounds pick the mechanism that fits
+    // the request before any search runs (legacy ordering when no
+    // lookahead is resolved).
+    const StrategyChoice choice =
+        selectStrategy(g, srcNode, sinkNode, opts_);
     const bool srcIsOutput = wireKind(srcPin.wire) == WireKind::SliceOut;
     const bool dstIsInput = wireKind(sinkPin.wire) == WireKind::ClbIn;
-    for (const auto& tmpl : templatesFor(fabric_->graph().device(), srcPin.rc,
-                                         sinkPin.rc, srcIsOutput, dstIsInput)) {
-      ++stats_.templateAttempts;
-      const TemplateResult res = followTemplate(
-          *fabric_, srcNode, tmpl, sinkNode, kInvalidLocalWire, opts_);
-      stats_.templateVisits += res.visited;
-      if (res.found) {
-        ++stats_.templateHits;
-        commit(res.edges, RouteMethod::LibTemplate);
-        return;
-      }
+    const auto tryBodies =
+        [&](const std::vector<std::vector<TemplateValue>>& tmpls,
+            bool longLine) {
+          for (const auto& tmpl : tmpls) {
+            ++stats_.templateAttempts;
+            const TemplateResult res = followTemplate(
+                *fabric_, srcNode, tmpl, sinkNode, kInvalidLocalWire, opts_);
+            stats_.templateVisits += res.visited;
+            if (res.found) {
+              ++stats_.templateHits;
+              if (longLine) ++stats_.longTemplateHits;
+              commit(res.edges, RouteMethod::LibTemplate);
+              return true;
+            }
+          }
+          return false;
+        };
+    switch (choice.strategy) {
+      case Strategy::kTemplate:
+        ++stats_.selTemplate;
+        if (tryBodies(templatesFor(g.device(), srcPin.rc, sinkPin.rc,
+                                   srcIsOutput, dstIsInput),
+                      /*longLine=*/false)) {
+          return;
+        }
+        break;
+      case Strategy::kLongLine:
+        ++stats_.selLongLine;
+        if (tryBodies(longTemplatesFor(g.device(), srcPin.rc, sinkPin.rc,
+                                       srcIsOutput, dstIsInput),
+                      /*longLine=*/true)) {
+          return;
+        }
+        break;
+      case Strategy::kMaze:
+        ++stats_.selMaze;
+        break;
     }
   }
 

@@ -4,10 +4,14 @@
 #include "obs/metrics.h"
 
 #ifndef JROUTE_NO_TELEMETRY
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "common/sync.h"
@@ -39,10 +43,18 @@ FlightMetrics& flightMetrics() {
 }  // namespace
 
 struct FlightRecorder::Impl {
+  /// One thread's single-writer ring, same publish protocol as the
+  /// tracer: the owning thread writes a slot, then publishes it with a
+  /// release store of head (total events ever written); readers acquire
+  /// head and only touch slots below it.
+  struct Ring {
+    std::array<FlightEvent, kRingCapacity> events;
+    std::atomic<uint64_t> head{0};
+  };
+
   mutable jrsync::Mutex mu;
-  std::vector<FlightEvent> ring JR_GUARDED_BY(mu){kRingCapacity};
-  size_t head JR_GUARDED_BY(mu) = 0;   // next write slot
-  size_t count JR_GUARDED_BY(mu) = 0;  // valid entries (<= kRingCapacity)
+  /// Ring registration and merge only — never taken on the note() path.
+  std::vector<std::unique_ptr<Ring>> rings JR_GUARDED_BY(mu);
   bool armed JR_GUARDED_BY(mu) = false;
   std::string dir JR_GUARDED_BY(mu);
   uint64_t nextSeq JR_GUARDED_BY(mu) = 1;
@@ -57,13 +69,42 @@ struct FlightRecorder::Impl {
             .count());
   }
 
-  // Oldest-first walk of the ring.
+  Ring& localRing() {
+    thread_local Ring* ring = nullptr;
+    if (ring == nullptr) {
+      auto owned = std::make_unique<Ring>();
+      ring = owned.get();
+      jrsync::MutexLock lock(mu);
+      rings.push_back(std::move(owned));
+    }
+    return *ring;
+  }
+
+  /// Merge every thread's retained events, oldest first across threads
+  /// (per-ring order is already chronological; the cross-ring merge sorts
+  /// by timestamp, mirroring how the tracer's viewer orders its export).
+  std::vector<FlightEvent> mergedEvents() const JR_REQUIRES(mu) {
+    std::vector<FlightEvent> all;
+    for (const auto& r : rings) {
+      const uint64_t h = r->head.load(std::memory_order_acquire);
+      const uint64_t n = std::min<uint64_t>(h, kRingCapacity);
+      for (uint64_t seq = h - n; seq < h; ++seq) {
+        all.push_back(r->events[seq % kRingCapacity]);
+      }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const FlightEvent& a, const FlightEvent& b) {
+                       return a.tsNs < b.tsNs;
+                     });
+    return all;
+  }
+
   std::string eventsJson() const JR_REQUIRES(mu) {
     std::string out = "[";
-    for (size_t i = 0; i < count; ++i) {
-      const size_t idx = (head + kRingCapacity - count + i) % kRingCapacity;
-      const FlightEvent& e = ring[idx];
-      if (i > 0) out += ",";
+    bool first = true;
+    for (const FlightEvent& e : mergedEvents()) {
+      if (!first) out += ",";
+      first = false;
       out += "{\"ts_ns\":" + u64(e.tsNs) + "," +
              jsonKv("cat", e.cat ? e.cat : "") + "," +
              jsonKv("name", e.name ? e.name : "") + ",\"a\":" + u64(e.a) +
@@ -92,15 +133,15 @@ FlightRecorder& FlightRecorder::instance() {
 void FlightRecorder::note(const char* cat, const char* name, uint64_t a,
                           uint64_t b) {
   flightMetrics().notes.add();
-  jrsync::MutexLock lock(impl_->mu);
-  FlightEvent& slot = impl_->ring[impl_->head];
+  Impl::Ring& r = impl_->localRing();
+  const uint64_t h = r.head.load(std::memory_order_relaxed);
+  FlightEvent& slot = r.events[h % kRingCapacity];
   slot.tsNs = impl_->nowNs();
   slot.cat = cat;
   slot.name = name;
   slot.a = a;
   slot.b = b;
-  impl_->head = (impl_->head + 1) % kRingCapacity;
-  if (impl_->count < kRingCapacity) ++impl_->count;
+  r.head.store(h + 1, std::memory_order_release);
 }
 
 void FlightRecorder::arm(const std::string& dir) {
@@ -171,7 +212,12 @@ std::string FlightRecorder::anomaly(const std::string& kind,
 
 size_t FlightRecorder::eventCount() const {
   jrsync::MutexLock lock(impl_->mu);
-  return impl_->count;
+  size_t n = 0;
+  for (const auto& r : impl_->rings) {
+    n += static_cast<size_t>(std::min<uint64_t>(
+        r->head.load(std::memory_order_acquire), kRingCapacity));
+  }
+  return n;
 }
 
 uint64_t FlightRecorder::anomalyCount() const {
@@ -180,9 +226,10 @@ uint64_t FlightRecorder::anomalyCount() const {
 }
 
 void FlightRecorder::clear() {
+  // Reset heads rather than unregister: a writer thread may hold a
+  // pointer to its ring, so rings live for the process lifetime.
   jrsync::MutexLock lock(impl_->mu);
-  impl_->head = 0;
-  impl_->count = 0;
+  for (auto& r : impl_->rings) r->head.store(0, std::memory_order_release);
 }
 
 #else  // JROUTE_NO_TELEMETRY ------------------------------------------------

@@ -3,9 +3,11 @@
 // Counters tell you contention happened; a trace tells you when — but by
 // the time someone goes looking, the interesting window is long gone.
 // The flight recorder keeps a small ring of recent engine events (batch
-// boundaries, claim conflicts, rollbacks, commits) that costs one mutexed
-// ring write per note — notes are emitted from engine-thread control
-// points, never from the search hot path. When an anomaly fires
+// boundaries, claim conflicts, rollbacks, commits). Each thread writes
+// its own single-writer ring — the same release/acquire publish protocol
+// as the tracer (obs/trace.h) — so a note never takes a lock and worker
+// threads never contend; rings are merged and time-sorted only when a
+// bundle is dumped or the events are exported. When an anomaly fires
 // (contention exception, rollback, deadline miss, paranoid-DRC
 // violation) and the recorder is armed, it dumps a self-contained JSON
 // bundle to a file: the anomaly, the last-N events, caller-supplied
@@ -41,7 +43,8 @@ class FlightRecorder {
  public:
   static FlightRecorder& instance();
 
-  /// Append an event to the ring (overwrites the oldest when full).
+  /// Append an event to the calling thread's ring (overwrites that
+  /// thread's oldest when full). Lock-free after the thread's first note.
   void note(const char* cat, const char* name, uint64_t a = 0,
             uint64_t b = 0);
 
@@ -60,7 +63,8 @@ class FlightRecorder {
   std::string anomaly(const std::string& kind, const std::string& detail,
                       const std::string& extraJson = "");
 
-  /// Events currently retained (capped at kRingCapacity).
+  /// Events currently retained across all thread rings (each ring caps
+  /// at kRingCapacity).
   size_t eventCount() const;
   /// Anomalies reported since process start (armed or not).
   uint64_t anomalyCount() const;
@@ -69,6 +73,7 @@ class FlightRecorder {
   /// anomaly sequence counter are untouched.
   void clear();
 
+  /// Per-thread ring capacity.
   static constexpr size_t kRingCapacity = 1024;
 
  private:

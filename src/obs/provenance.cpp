@@ -30,7 +30,8 @@ std::string NetProvenance::text() const {
   out += "  request   #" + u64(requestId) + " session " + u64(sessionId) +
          " op " + op + "\n";
   out += "  algorithm " + algorithm +
-         (parallel ? " (parallel plan)" : " (serialized)") + "\n";
+         (parallel ? " (parallel plan)" : " (serialized)") + ", selector " +
+         selector + "\n";
   out += "  effort    " + u64(searchVisits) + " nodes visited, " +
          u64(claimRetries) + " claim retries\n";
   out += "  result    " + u64(pips) + " pips across " + u64(sinks) +
@@ -49,6 +50,7 @@ std::string NetProvenance::json() const {
   out += "\"session_id\":" + u64(sessionId) + ",";
   out += jsonKv("op", op) + ",";
   out += jsonKv("algorithm", algorithm) + ",";
+  out += jsonKv("selector", selector) + ",";
   out += std::string("\"parallel\":") + (parallel ? "true" : "false") + ",";
   out += "\"pips\":" + u64(pips) + ",";
   out += "\"sinks\":" + u64(sinks) + ",";
@@ -70,6 +72,17 @@ const char* classifyAlgorithm(uint64_t templateHits, uint64_t mazeRuns,
   if (shapeReuseHits > 0) return "shape-hint";
   if (templateHits > 0) return "template";
   return "reuse";
+}
+
+const char* classifySelector(uint64_t selTemplate, uint64_t selLongLine,
+                             uint64_t selMaze) {
+  const int kinds = (selTemplate > 0 ? 1 : 0) + (selLongLine > 0 ? 1 : 0) +
+                    (selMaze > 0 ? 1 : 0);
+  if (kinds > 1) return "mixed";
+  if (selTemplate > 0) return "template";
+  if (selLongLine > 0) return "long-line";
+  if (selMaze > 0) return "maze";
+  return "off";
 }
 
 #ifndef JROUTE_NO_TELEMETRY

@@ -41,6 +41,10 @@ struct NetProvenance {
   uint64_t sessionId = 0;
   std::string op;         ///< API level: "p2p", "fanout", "bus", "unroute".
   std::string algorithm;  ///< "template" | "shape-hint" | "maze" | "mixed" | "reuse".
+  /// Lookahead strategy-selector verdict for the request's sinks:
+  /// "template" | "long-line" | "maze" | "mixed" | "off" (selector not
+  /// consulted — lookahead disabled or no sink reached selection).
+  std::string selector = "off";
   bool parallel = false;  ///< Planned in the batch's parallel phase?
   uint64_t pips = 0;      ///< PIPs durably turned on for this net.
   uint64_t sinks = 0;     ///< Sink pins routed by the committing request.
@@ -65,6 +69,12 @@ struct NetProvenance {
 /// sink was already on the net).
 const char* classifyAlgorithm(uint64_t templateHits, uint64_t mazeRuns,
                               uint64_t shapeReuseHits);
+
+/// What the lookahead strategy selector decided for a request, from the
+/// per-request selector counters. One decision kind across every sink
+/// names it; several kinds is "mixed"; no decisions at all is "off".
+const char* classifySelector(uint64_t selTemplate, uint64_t selLongLine,
+                             uint64_t selMaze);
 
 /// Bounded provenance store keyed by net source node.
 class ProvenanceStore {

@@ -11,6 +11,10 @@
 
 #include "common/types.h"
 
+namespace jrla {
+class Lookahead;
+}
+
 namespace jroute {
 
 /// Extra per-node availability veto consulted by the route engines on top
@@ -55,7 +59,25 @@ struct RouterOptions {
   /// less search — the right trade for a run-time router. The admissible
   /// bound is loose (a chip-spanning long line costs ~13 ps/tile), so
   /// weighting recovers most of the wasted exploration.
+  ///
+  /// Consulted by the legacy manhattan heuristic (useLookahead off) and as
+  /// the per-tile rate of the weighted lookahead's greedy floor (below).
   double heuristicWeight = 2.0;
+  /// Use the precomputed per-device lookahead table (src/lookahead) as the
+  /// maze heuristic and for per-request strategy selection. The Router
+  /// and Planner resolve `lookahead` from the process-wide per-device
+  /// cache when this is set and the pointer is null.
+  bool useLookahead = true;
+  /// Resolved lookahead table; read-only, shared across threads. Null
+  /// with useLookahead set means "resolve lazily via forGraph".
+  const jrla::Lookahead* lookahead = nullptr;
+  /// Weight on the lookahead heuristic. The table is admissible, so 1.0
+  /// gives delay-optimal paths; the default trades bounded suboptimality
+  /// for speed, like heuristicWeight does for the legacy heuristic. Any
+  /// weight above 1.0 also enables a greedy floor — max(weighted estimate,
+  /// legacy manhattan rate) — because the admissible estimate for far
+  /// goals is long-line-dominated and too flat to focus the search alone.
+  double lookaheadWeight = 2.0;
 };
 
 /// Which mechanism satisfied the most recent routing call.
@@ -83,6 +105,13 @@ struct RouteStats {
   uint64_t templateVisits = 0;
   uint64_t mazeRuns = 0;
   uint64_t mazeVisits = 0;
+  /// Subset of templateHits satisfied by a long-line composition template
+  /// (strategy selector picked the long-line path and it fit).
+  uint64_t longTemplateHits = 0;
+  /// Strategy-selector decisions (lookahead-driven pre-search choice).
+  uint64_t selTemplate = 0;
+  uint64_t selLongLine = 0;
+  uint64_t selMaze = 0;
   RouteMethod lastMethod = RouteMethod::None;
 };
 

@@ -10,12 +10,15 @@
 
 #include <vector>
 
+#include "router/options.h"
 #include "rrg/graph.h"
 
 namespace jroute {
 
+using xcvsim::DelayPs;
 using xcvsim::EdgeId;
 using xcvsim::LocalWire;
+using xcvsim::NodeId;
 using xcvsim::RowCol;
 
 /// The PIP chain (source-side first) a path denotes. Throws ArgumentError
@@ -23,5 +26,32 @@ using xcvsim::RowCol;
 /// consecutive wires anywhere along the current segment.
 std::vector<EdgeId> resolvePath(const xcvsim::Graph& g, RowCol start,
                                 const std::vector<LocalWire>& wires);
+
+/// How the engines should attempt a point-to-point request.
+enum class Strategy : uint8_t {
+  kTemplate,  // library templates first, maze fallback
+  kLongLine,  // long-line composition templates first, maze fallback
+  kMaze,      // straight to the maze
+};
+
+/// A selector decision plus the signals it was derived from.
+struct StrategyChoice {
+  Strategy strategy = Strategy::kMaze;
+  int distance = 0;            ///< manhattan tiles, source to sink
+  DelayPs estimate = 0;        ///< lookahead bound, all wires (kFull)
+  DelayPs estimateNoLongs = 0; ///< lookahead bound without long lines
+};
+
+/// Pick the routing strategy for one source/sink pair before searching.
+///
+/// With a lookahead table resolved, the choice is cost-driven: short
+/// requests (within templateMaxDistance) go to the template library; past
+/// that, a strictly better kFull than kNoLongs bound means long lines buy
+/// delay over this displacement, so a long-line composition template is
+/// worth attempting before the maze. Without a lookahead the legacy fixed
+/// ordering applies (templates inside templateMaxDistance, else maze).
+/// Bumps the router.lookahead.select.* counters.
+StrategyChoice selectStrategy(const xcvsim::Graph& g, NodeId src,
+                              NodeId sink, const RouterOptions& opts);
 
 }  // namespace jroute

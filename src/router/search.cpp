@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "fabric/timing.h"
+#include "lookahead/lookahead.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -39,6 +40,12 @@ struct MazeMetrics {
   jrobs::Counter& visits = jrobs::registry().counter("router.maze.visits");
   jrobs::Counter& found = jrobs::registry().counter("router.maze.found");
   jrobs::Counter& failed = jrobs::registry().counter("router.maze.failed");
+  jrobs::Counter& laSearches =
+      jrobs::registry().counter("router.lookahead.searches");
+  jrobs::Counter& laVisits =
+      jrobs::registry().counter("router.lookahead.visits");
+  jrobs::Counter& laPruned =
+      jrobs::registry().counter("router.lookahead.pruned_nodes");
 };
 
 MazeMetrics& mazeMetrics() {
@@ -69,6 +76,11 @@ SearchResult MazeRouter::route(const Fabric& fabric, NetId net,
   m.runs.add();
   m.visits.add(result.visited);
   (result.found ? m.found : m.failed).add();
+  if (result.usedLookahead) {
+    m.laSearches.add();
+    m.laVisits.add(result.visited);
+    m.laPruned.add(result.pruned);
+  }
   return result;
 }
 
@@ -79,11 +91,41 @@ SearchResult MazeRouter::search(const Fabric& fabric,
   SearchResult result;
   ++epoch_;
 
+  // Heuristic: the precomputed lookahead when available (admissible at
+  // weight 1.0, and a prune oracle — abstract-unreachable implies real-
+  // unreachable), otherwise the legacy weighted manhattan rate.
+  const jrla::Lookahead* la = opts.useLookahead ? opts.lookahead : nullptr;
+  result.usedLookahead = la != nullptr;
+  const jrla::Lookahead::Mode laMode =
+      (!opts.useLongLines || opts.mazeSinglesOnly)
+          ? jrla::Lookahead::Mode::kNoLongs
+          : jrla::Lookahead::Mode::kFull;
+
   const RowCol goalPos = g.positionOf(goal);
   const DelayPs tileBound = static_cast<DelayPs>(
       static_cast<double>(perTileBound(opts.useLongLines)) *
       opts.heuristicWeight);
-  const auto h = [&](NodeId n) {
+  const auto h = [&](NodeId n) -> DelayPs {
+    if (la) {
+      const DelayPs est = la->estimate(n, goal, laMode);
+      if (est >= jrla::Lookahead::kUnreachable) return est;
+      DelayPs weighted = static_cast<DelayPs>(static_cast<double>(est) *
+                                              opts.lookaheadWeight);
+      if (opts.lookaheadWeight > 1.0) {
+        // Greedy floor. Far from the goal the admissible estimate is
+        // long-line-dominated (~13 ps/tile) — so flat that even a weighted
+        // search expands near-breadth-first. The legacy per-tile rate keeps
+        // the frontier goal-directed out there; close in, the weighted
+        // estimate rises above the floor and its exact knowledge of the
+        // wire hierarchy takes over. Weight 1.0 skips the floor and stays
+        // strictly admissible (delay-optimal paths, the jrverify proof).
+        const DelayPs floor =
+            static_cast<DelayPs>(manhattan(g.positionOf(n), goalPos)) *
+            tileBound;
+        if (floor > weighted) weighted = floor;
+      }
+      return weighted;
+    }
     return static_cast<DelayPs>(manhattan(g.positionOf(n), goalPos)) *
            tileBound;
   };
@@ -96,11 +138,16 @@ SearchResult MazeRouter::search(const Fabric& fabric,
       result.found = true;  // sink already on the net tree
       return result;
     }
+    const DelayPs hs = h(s);
+    if (hs >= jrla::Lookahead::kUnreachable) {
+      ++result.pruned;  // provably cannot reach the goal from here
+      continue;
+    }
     epochSeen_[s] = epoch_;
     gCost_[s] = 0;
     parent_[s] = kInvalidEdge;
     closed_[s] = 0;
-    open.emplace(h(s), s);
+    open.emplace(hs, s);
   }
 
   while (!open.empty()) {
@@ -142,11 +189,16 @@ SearchResult MazeRouter::search(const Fabric& fabric,
       if (opts.claimFilter && opts.claimFilter->blocked(v)) continue;
       const DelayPs ng = gCost_[n] + kPipDelayPs + g.nodeDelay(v);
       if (epochSeen_[v] == epoch_ && gCost_[v] <= ng) continue;
+      const DelayPs hv = h(v);
+      if (hv >= jrla::Lookahead::kUnreachable) {
+        ++result.pruned;  // hard A* prune: no path from v to goal exists
+        continue;
+      }
       epochSeen_[v] = epoch_;
       gCost_[v] = ng;
       closed_[v] = 0;
       parent_[v] = static_cast<EdgeId>(&ed - &g.edge(0));
-      open.emplace(ng + h(v), v);
+      open.emplace(ng + hv, v);
     }
   }
   return result;  // not found (or visit budget exhausted)

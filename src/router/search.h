@@ -28,6 +28,11 @@ struct SearchResult {
   /// already part of the start set.
   std::vector<EdgeId> edges;
   size_t visited = 0;
+  /// Neighbors skipped outright because the lookahead proved them
+  /// unreachable-to-goal (abstract-unreachable implies real-unreachable).
+  size_t pruned = 0;
+  /// True when the search ran with the lookahead heuristic.
+  bool usedLookahead = false;
 };
 
 /// Reusable scratch space; one instance per Router, sized to the graph.

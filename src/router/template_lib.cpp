@@ -94,6 +94,95 @@ bool staysInBounds(const DeviceSpec& dev, RowCol from, const Seq& body) {
 
 }  // namespace
 
+std::vector<Seq> longTemplatesFor(const DeviceSpec& dev, RowCol from,
+                                  RowCol to, bool srcIsOutput,
+                                  bool dstIsInput) {
+  const int dr = to.row - from.row;
+  const int dc = to.col - from.col;
+  std::vector<Seq> out;
+  std::set<Seq> seen;
+
+  // One axis rides the long; the other is decomposed as usual. `axisDelta`
+  // is the long-axis displacement, `crossDelta` the other one.
+  const auto compose = [&](TemplateValue longStep, int axisDelta,
+                           int crossDelta, Dir axisFwd, Dir axisBack,
+                           Dir crossFwd, Dir crossBack) {
+    // Exit tiles of a long are congruent to the entry tile modulo the
+    // access period, so the suffix's long-axis share is the residual of
+    // axisDelta — and it must *start* with a hex (longs drive only
+    // hexes), which forces the overshoot shape: one same-axis hex past
+    // the sink, singles back. Both overshoot directions are candidates;
+    // the walker's exit exploration picks whichever tap exists.
+    const int r0 =
+        ((axisDelta % xcvsim::kLongAccessPeriod) + xcvsim::kLongAccessPeriod) %
+        xcvsim::kLongAccessPeriod;
+    struct AxisSuffix {
+      int residual;    // long-axis tiles covered by the suffix
+      AxisPlan plan;   // always hexes >= 1
+    };
+    std::vector<AxisSuffix> suffixes;
+    if (r0 == 0) {
+      suffixes.push_back({kHexSpan, {hexValue(axisFwd), singleValue(axisFwd),
+                                     1, 0}});
+      suffixes.push_back(
+          {-kHexSpan, {hexValue(axisBack), singleValue(axisBack), 1, 0}});
+    } else {
+      suffixes.push_back(
+          {r0, {hexValue(axisFwd), singleValue(axisBack), 1, kHexSpan - r0}});
+      suffixes.push_back(
+          {r0 - kHexSpan, {hexValue(axisBack), singleValue(axisFwd), 1, r0}});
+    }
+    const auto crossPlans = axisPlans(crossDelta, crossFwd, crossBack);
+    for (const AxisSuffix& sfx : suffixes) {
+      // Nominal exit tile: the long keeps the cross coordinate of the
+      // entry tile; on its own axis it exits sink-minus-residual, which
+      // is congruent to the entry (mod access period) by construction.
+      const bool horizontal = longStep == TemplateValue::LONGH;
+      const int exitRow = horizontal ? from.row : to.row - sfx.residual;
+      const int exitCol = horizontal ? to.col - sfx.residual : from.col;
+      for (const AxisPlan& cp : crossPlans) {
+        Seq body{longStep};
+        appendHexes(body, sfx.plan);   // same-axis hex leads off the long
+        appendHexes(body, cp);
+        appendSingles(body, sfx.plan);
+        appendSingles(body, cp);
+        if (dstIsInput && !body.empty() && isHexStep(body.back())) {
+          const Seq loop = cornerLoop(dev, to, false);
+          body.insert(body.end(), loop.begin(), loop.end());
+        }
+        // Bounds: walk the post-long steps from the nominal exit tile
+        // (the long itself has no nominal displacement).
+        const RowCol exit{static_cast<int16_t>(exitRow),
+                          static_cast<int16_t>(exitCol)};
+        if (exitRow < 0 || exitRow >= dev.rows || exitCol < 0 ||
+            exitCol >= dev.cols) {
+          continue;
+        }
+        if (!staysInBounds(dev, exit, Seq(body.begin() + 1, body.end()))) {
+          continue;
+        }
+        Seq t;
+        if (srcIsOutput) t.push_back(TemplateValue::OUTMUX);
+        t.insert(t.end(), body.begin(), body.end());
+        if (dstIsInput) t.push_back(TemplateValue::CLBIN);
+        if (seen.insert(t).second) out.push_back(std::move(t));
+      }
+    }
+  };
+
+  // A long only pays off when it replaces at least a hex chain on its
+  // axis; the cross axis rides the ordinary decomposition.
+  if (dc > kHexSpan || dc < -kHexSpan) {
+    compose(TemplateValue::LONGH, dc, dr, Dir::East, Dir::West, Dir::North,
+            Dir::South);
+  }
+  if (dr > kHexSpan || dr < -kHexSpan) {
+    compose(TemplateValue::LONGV, dr, dc, Dir::North, Dir::South, Dir::East,
+            Dir::West);
+  }
+  return out;
+}
+
 std::vector<Seq> templatesFor(const DeviceSpec& dev, RowCol from, RowCol to,
                               bool srcIsOutput, bool dstIsInput) {
   const int dr = to.row - from.row;

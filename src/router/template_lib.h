@@ -44,4 +44,19 @@ std::vector<std::vector<TemplateValue>> templatesFor(
     const xcvsim::DeviceSpec& dev, RowCol from, RowCol to, bool srcIsOutput,
     bool dstIsInput);
 
+/// Long-line composition templates: OUTMUX onto a long line, a hex off it,
+/// then hex/single cleanup to the sink. The regular library omits longs
+/// because a long's exit point is data-dependent — but the template
+/// *walker* explores every exit of a matched segment, so a composition
+/// template only has to fix the residual suffix: the long contributes a
+/// whole displacement class (entry and exit tiles are congruent mod the
+/// long access period), and the suffix absorbs the remainder. The first
+/// step after the long is always a same-axis hex (longs drive only hexes),
+/// so suffixes are overshoot-shaped: one hex past the sink column/row,
+/// singles back. Only generated for displacements a long can plausibly
+/// beat hexes over (the strategy selector gates callers further).
+std::vector<std::vector<TemplateValue>> longTemplatesFor(
+    const xcvsim::DeviceSpec& dev, RowCol from, RowCol to, bool srcIsOutput,
+    bool dstIsInput);
+
 }  // namespace jroute

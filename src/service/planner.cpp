@@ -5,6 +5,8 @@
 #include "arch/wires.h"
 #include "core/router.h"
 #include "fabric/trace.h"
+#include "lookahead/lookahead.h"
+#include "router/path_engine.h"
 #include "obs/heatmap.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -63,6 +65,11 @@ Planner::Planner(const xcvsim::Fabric& fabric, ClaimMap& claims,
       opts_(opts),
       maze_(fabric.graph()) {
   opts_.claimFilter = &view_;
+  // Same per-device table as the serial router: immutable, shared across
+  // every planner thread.
+  if (opts_.useLookahead && opts_.lookahead == nullptr) {
+    opts_.lookahead = &jrla::Lookahead::forGraph(fabric.graph());
+  }
 }
 
 Plan Planner::plan(uint32_t owner, const Request& req) {
@@ -227,6 +234,18 @@ bool Planner::planSink(uint32_t owner, Plan& plan, PlannedNet& net,
                 false);
   }
 
+  // Selected once per sink (the choice is claim-independent); claim-race
+  // retries below re-search under the same strategy.
+  jroute::StrategyChoice choice;
+  if (tryTemplates) {
+    choice = jroute::selectStrategy(g, net.srcNode, sinkNode, opts_);
+    switch (choice.strategy) {
+      case jroute::Strategy::kTemplate: ++plan.selTemplate; break;
+      case jroute::Strategy::kLongLine: ++plan.selLongLine; break;
+      case jroute::Strategy::kMaze: ++plan.selMaze; break;
+    }
+  }
+
   const NetId searchNet =
       net.existing != kInvalidNet ? net.existing : kInvalidNet;
   for (int attempt = 0; attempt < kMaxClaimRetries; ++attempt) {
@@ -246,19 +265,26 @@ bool Planner::planSink(uint32_t owner, Plan& plan, PlannedNet& net,
         found = true;
       }
     }
-    if (!found && tryTemplates && opts_.templateFirst &&
-        manhattan(srcPin.rc, sinkPin.rc) <= opts_.templateMaxDistance) {
+    if (!found && tryTemplates &&
+        choice.strategy != jroute::Strategy::kMaze) {
       const bool srcIsOutput = wireKind(srcPin.wire) == WireKind::SliceOut;
       const bool dstIsInput = wireKind(sinkPin.wire) == WireKind::ClbIn;
-      for (const auto& tmpl :
-           jroute::templatesFor(fabric_->graph().device(), srcPin.rc,
-                                sinkPin.rc, srcIsOutput, dstIsInput)) {
+      const bool longLine = choice.strategy == jroute::Strategy::kLongLine;
+      const auto tmpls =
+          longLine ? jroute::longTemplatesFor(fabric_->graph().device(),
+                                              srcPin.rc, sinkPin.rc,
+                                              srcIsOutput, dstIsInput)
+                   : jroute::templatesFor(fabric_->graph().device(),
+                                          srcPin.rc, sinkPin.rc, srcIsOutput,
+                                          dstIsInput);
+      for (const auto& tmpl : tmpls) {
         const jroute::TemplateResult res =
             followTemplate(*fabric_, net.srcNode, tmpl, sinkNode,
                            xcvsim::kInvalidLocalWire, opts_);
         plan.visits += res.visited;
         if (res.found) {
           ++plan.templateHits;
+          if (longLine) ++plan.longTemplateHits;
           chain = res.edges;
           found = true;
           break;

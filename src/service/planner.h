@@ -54,6 +54,12 @@ struct Plan {
   uint64_t shapeReuseHits = 0;
   uint64_t mazeRuns = 0;
   uint64_t visits = 0;
+  /// Subset of templateHits satisfied by a long-line composition.
+  uint64_t longTemplateHits = 0;
+  /// Strategy-selector decisions made while planning this request.
+  uint64_t selTemplate = 0;
+  uint64_t selLongLine = 0;
+  uint64_t selMaze = 0;
   /// For contention failures: the contested segment, when known.
   NodeId contendedNode = xcvsim::kInvalidNode;
 };

@@ -547,7 +547,10 @@ bool RoutingService::commitPlan(Request& req, PlanJob& job,
     for (const NodeId src : newlyOwned) registerNet(src, req.sessionId);
     recordProvenance(req, /*parallel=*/true, netSources, pipsPerNet,
                      job.plan.templateHits, job.plan.shapeReuseHits,
-                     job.plan.mazeRuns, job.plan.visits, job.plan.retries);
+                     job.plan.mazeRuns, job.plan.visits, job.plan.retries,
+                     jrobs::classifySelector(job.plan.selTemplate,
+                                             job.plan.selLongLine,
+                                             job.plan.selMaze));
     stats_.parallelPlanned.fetch_add(1);
     metrics().parallelPlanned.add();
     out = accepted(firstSrc, /*parallel=*/true);
@@ -614,7 +617,11 @@ RouteResult RoutingService::executeSerial(Request& req) {
                      after.mazeRuns - before.mazeRuns,
                      (after.templateVisits - before.templateVisits) +
                          (after.mazeVisits - before.mazeVisits),
-                     /*claimRetries=*/0);
+                     /*claimRetries=*/0,
+                     jrobs::classifySelector(
+                         after.selTemplate - before.selTemplate,
+                         after.selLongLine - before.selLongLine,
+                         after.selMaze - before.selMaze));
     stats_.serialRouted.fetch_add(1);
     metrics().serialRouted.add();
     return accepted(srcNodes.front(), /*parallel=*/false);
@@ -688,7 +695,7 @@ void RoutingService::recordProvenance(
     const Request& req, bool parallel, const std::vector<NodeId>& netSources,
     const std::vector<size_t>& pipsPerNet, uint64_t templateHits,
     uint64_t shapeReuseHits, uint64_t mazeRuns, uint64_t visits,
-    uint64_t claimRetries) {
+    uint64_t claimRetries, const char* selector) {
   if (!jrobs::compiledIn()) return;  // compile-time: the stub build pays 0
   uint64_t latencyUs = 0;
   if (req.enqueued != Clock::time_point{}) {
@@ -712,6 +719,7 @@ void RoutingService::recordProvenance(
     rec.sessionId = req.sessionId;
     rec.op = opName(req.op);
     rec.algorithm = algo;
+    rec.selector = selector;
     rec.parallel = parallel;
     rec.pips = i < pipsPerNet.size() ? pipsPerNet[i] : 0;
     rec.sinks = sinksPerNet;

@@ -189,7 +189,7 @@ class RoutingService {
                         const std::vector<size_t>& pipsPerNet,
                         uint64_t templateHits, uint64_t shapeReuseHits,
                         uint64_t mazeRuns, uint64_t visits,
-                        uint64_t claimRetries);
+                        uint64_t claimRetries, const char* selector);
   /// Refresh fabric.region.* / service.claim.region.* gauges. Caller
   /// must hold fabricMu_.
   void publishCongestionGauges() const;

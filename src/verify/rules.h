@@ -12,6 +12,7 @@ std::vector<const Rule*> archRules();
 std::vector<const Rule*> rrgRules();
 std::vector<const Rule*> templateRules();
 std::vector<const Rule*> bitstreamRules();
+std::vector<const Rule*> lookaheadRules();
 
 /// Findings reported per rule are capped so one systemic breakage does not
 /// drown the report (the exit code still counts every *reported* finding).

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "lookahead/lookahead.h"
 #include "obs/jsonutil.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -29,6 +30,7 @@ const char* layerName(Layer layer) {
     case Layer::kRrg: return "rrg";
     case Layer::kTemplate: return "template";
     case Layer::kBitstream: return "bitstream";
+    case Layer::kLookahead: return "lookahead";
   }
   return "?";
 }
@@ -116,6 +118,10 @@ ModelView makeModelView(const Graph& graph, const PipTable& table,
   m.templates = [dev](RowCol from, RowCol to) {
     return jroute::templatesFor(*dev, from, to, true, true);
   };
+  const jrla::Lookahead* la = &jrla::Lookahead::forGraph(graph);
+  m.lookaheadEstimate = [la](NodeId from, NodeId to) {
+    return la->estimate(from, to, jrla::Lookahead::Mode::kFull);
+  };
   m.slotOf = [t](const PipKey& key) { return t->slotOf(key); };
   m.keyAt = [t](int slot) { return t->keyAt(slot); };
   m.bitsPerTileRow = [t]() { return t->bitsPerTileRow(); };
@@ -126,8 +132,8 @@ ModelView makeModelView(const Graph& graph, const PipTable& table,
 const std::vector<const Rule*>& allRules() {
   static const std::vector<const Rule*> rules = [] {
     std::vector<const Rule*> all;
-    for (const auto& layer :
-         {archRules(), rrgRules(), templateRules(), bitstreamRules()}) {
+    for (const auto& layer : {archRules(), rrgRules(), templateRules(),
+                              bitstreamRules(), lookaheadRules()}) {
       all.insert(all.end(), layer.begin(), layer.end());
     }
     return all;

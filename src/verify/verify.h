@@ -7,7 +7,7 @@
 // mysterious maze-search failure deep in the service. The runtime DRC
 // (src/analysis) audits fabric *state* after routing; this module is its
 // compile-time counterpart, the way VTR's check_rr_graph validates the
-// routing-resource graph before any router runs. It checks four layers:
+// routing-resource graph before any router runs. It checks five layers:
 //
 //   arch       the description class is self-consistent (pip symmetry,
 //              wire geometry, pattern ranges, the paper's driver-class
@@ -18,6 +18,8 @@
 //              path on a clean fabric and stays in-bounds at device edges
 //   bitstream  the PIP table round-trips through encode/decode and no two
 //              logical PIPs share a configuration bit
+//   lookahead  the router's precomputed cost map (src/lookahead) is an
+//              admissible lower bound on true shortest-path delay
 //
 // Rules run against a ModelView — a bundle of hookable accessors that
 // default to the real model. The mutation harness (tests/verify_test.cpp)
@@ -42,6 +44,7 @@
 
 namespace jrverify {
 
+using xcvsim::DelayPs;
 using xcvsim::DeviceSpec;
 using xcvsim::EdgeId;
 using xcvsim::LocalWire;
@@ -49,7 +52,7 @@ using xcvsim::NodeId;
 using xcvsim::RowCol;
 using xcvsim::TemplateValue;
 
-enum class Layer : uint8_t { kArch, kRrg, kTemplate, kBitstream };
+enum class Layer : uint8_t { kArch, kRrg, kTemplate, kBitstream, kLookahead };
 
 const char* layerName(Layer layer);
 
@@ -122,6 +125,11 @@ struct ModelView {
   std::function<std::vector<std::vector<TemplateValue>>(RowCol, RowCol)>
       templates;
 
+  // --- lookahead layer ---
+  /// Remaining-delay estimate from node to node (defaults to the shared
+  /// per-device jrla::Lookahead in full mode).
+  std::function<DelayPs(NodeId, NodeId)> lookaheadEstimate;
+
   // --- bitstream layer ---
   std::function<int(const xcvsim::PipKey&)> slotOf;
   std::function<xcvsim::PipKey(int)> keyAt;
@@ -150,7 +158,8 @@ class Rule {
   virtual void run(const ModelView& m, VerifyReport& out) const = 0;
 };
 
-/// The rule registry, in catalogue order (arch, rrg, template, bitstream).
+/// The rule registry, in catalogue order (arch, rrg, template, bitstream,
+/// lookahead).
 const std::vector<const Rule*>& allRules();
 const Rule* ruleById(std::string_view id);
 

@@ -65,6 +65,7 @@ NetProvenance sampleRecord() {
   rec.sessionId = 3;
   rec.op = "p2p";
   rec.algorithm = "template";
+  rec.selector = "mixed";
   rec.parallel = true;
   rec.pips = 6;
   rec.sinks = 1;
@@ -82,7 +83,7 @@ TEST(ObsProvenanceGolden, WhyTextRendersExactly) {
   EXPECT_EQ(sampleRecord().text(),
             "net net_7 (source node 1234)\n"
             "  request   #42 session 3 op p2p\n"
-            "  algorithm template (parallel plan)\n"
+            "  algorithm template (parallel plan), selector mixed\n"
             "  effort    44 nodes visited, 0 claim retries\n"
             "  result    6 pips across 1 sink(s), latency 120 us\n"
             "  outcome   txn committed, drc pass, updated 1x (seq 9)\n");
@@ -91,8 +92,9 @@ TEST(ObsProvenanceGolden, WhyTextRendersExactly) {
   NetProvenance plain = sampleRecord();
   plain.parallel = false;
   plain.updates = 0;
-  EXPECT_NE(plain.text().find("  algorithm template (serialized)\n"),
-            std::string::npos);
+  EXPECT_NE(
+      plain.text().find("  algorithm template (serialized), selector mixed\n"),
+      std::string::npos);
   EXPECT_EQ(plain.text().find("updated"), std::string::npos);
 }
 
@@ -101,7 +103,8 @@ TEST(ObsProvenanceGolden, JsonRendersExactlyAndValidates) {
   EXPECT_EQ(json,
             "{\"net_source\":1234,\"net_name\":\"net_7\",\"request_id\":42,"
             "\"session_id\":3,\"op\":\"p2p\",\"algorithm\":\"template\","
-            "\"parallel\":true,\"pips\":6,\"sinks\":1,\"search_visits\":44,"
+            "\"selector\":\"mixed\",\"parallel\":true,\"pips\":6,"
+            "\"sinks\":1,\"search_visits\":44,"
             "\"claim_retries\":0,\"latency_us\":120,\"txn\":\"committed\","
             "\"drc\":\"pass\",\"updates\":1,\"seq\":9}");
   EXPECT_TRUE(validJson(json));
@@ -467,6 +470,58 @@ TEST(ObsFlightRecorder, ArmedAnomalyDumpsSelfContainedBundle) {
   EXPECT_NE(bundle.find("\"extra\":{\"x\":1}"), std::string::npos);
   EXPECT_NE(bundle.find("\"metrics\":{"), std::string::npos);
 
+  fr.clear();
+  EXPECT_EQ(fr.eventCount(), 0u);
+}
+
+TEST(ObsFlightRecorder, PerThreadRingsMergeIntoOneTimeOrderedView) {
+  if (!jrobs::compiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  FlightRecorder& fr = jrobs::flightRecorder();
+  fr.clear();
+  constexpr int kThreads = 4;
+  constexpr int kNotes = 25;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&fr, t] {
+      for (int i = 0; i < kNotes; ++i) {
+        fr.note("test", "mt-note", static_cast<uint64_t>(t),
+                static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Each writer filled its own ring: nothing below capacity is dropped,
+  // and eventCount sums across every thread's ring.
+  EXPECT_EQ(fr.eventCount(), static_cast<size_t>(kThreads * kNotes));
+
+  // A bundle merges the rings into one chronologically sorted event list.
+  const std::string dir = freshDumpDir("jr_flightrec_mt");
+  fr.arm(dir);
+  const std::string path = fr.anomaly("test-mt", "per-thread merge");
+  fr.disarm();
+  ASSERT_FALSE(path.empty());
+  const std::string bundle = slurp(path);
+  EXPECT_TRUE(validJson(bundle)) << bundle.substr(0, 400);
+  const size_t evStart = bundle.find("\"events\":[");
+  const size_t evEnd = bundle.find("],\"extra\"");
+  ASSERT_NE(evStart, std::string::npos);
+  ASSERT_NE(evEnd, std::string::npos);
+  const std::string events = bundle.substr(evStart, evEnd - evStart);
+  size_t seen = 0;
+  for (size_t pos = events.find("\"name\":\"mt-note\"");
+       pos != std::string::npos;
+       pos = events.find("\"name\":\"mt-note\"", pos + 1)) {
+    ++seen;
+  }
+  EXPECT_EQ(seen, static_cast<size_t>(kThreads * kNotes));
+  uint64_t prevTs = 0;
+  for (size_t pos = events.find("\"ts_ns\":"); pos != std::string::npos;
+       pos = events.find("\"ts_ns\":", pos + 1)) {
+    const uint64_t ts = std::stoull(events.substr(pos + 8));
+    EXPECT_GE(ts, prevTs) << "events not time-sorted";
+    prevTs = ts;
+  }
   fr.clear();
   EXPECT_EQ(fr.eventCount(), 0u);
 }

@@ -14,6 +14,7 @@
 #include "arch/wires.h"
 #include "bitstream/decoder.h"
 #include "json_validator.h"
+#include "lookahead/lookahead.h"
 #include "verify/verify.h"
 
 namespace {
@@ -85,7 +86,7 @@ TEST(VerifyTest, CatalogueHasAllLayersAndUniqueIds) {
     layers.insert(r->layer());
     EXPECT_EQ(r, jrverify::ruleById(r->id()));
   }
-  EXPECT_EQ(layers.size(), 4u);
+  EXPECT_EQ(layers.size(), 5u);
   EXPECT_EQ(jrverify::ruleById("no-such-rule"), nullptr);
 }
 
@@ -309,6 +310,24 @@ TEST(VerifyMutationTest, EncodeDecodeFiresOnDroppedDecodeEntry) {
   EXPECT_TRUE(m.run().firedRule("bit-encode-decode"));
 }
 
+TEST(VerifyMutationTest, LookaheadAdmissibleFiresOnInflatedEstimate) {
+  ArchMutator m;
+  const auto real = m.view().lookaheadEstimate;
+  m.view().lookaheadEstimate = [real](NodeId from, NodeId to) {
+    // A constant pad breaks the lower-bound contract for near pairs.
+    return real(from, to) + 5000;
+  };
+  EXPECT_TRUE(m.run().firedRule("lookahead-admissible"));
+}
+
+TEST(VerifyMutationTest, LookaheadAdmissibleFiresOnSpuriousUnreachable) {
+  ArchMutator m;
+  m.view().lookaheadEstimate = [](NodeId, NodeId) {
+    return jrla::Lookahead::kUnreachable;
+  };
+  EXPECT_TRUE(m.run().firedRule("lookahead-admissible"));
+}
+
 TEST(VerifyMutationTest, EveryRuleHasALivenessProof) {
   // Meta-check on this file: the mutation tests above must cover every
   // rule in the catalogue. Collected by hand; this keeps a newly added
@@ -319,7 +338,7 @@ TEST(VerifyMutationTest, EveryRuleHasALivenessProof) {
       "rrg-alias-roundtrip", "rrg-sink-reachable", "rrg-orphan-node",
       "tpl-displacement",   "tpl-bounds",          "tpl-replay",
       "bit-slot-roundtrip", "bit-key-coverage",    "bit-no-aliasing",
-      "bit-encode-decode",
+      "bit-encode-decode",  "lookahead-admissible",
   };
   for (const jrverify::Rule* r : jrverify::allRules()) {
     EXPECT_TRUE(proven.count(r->id()))
