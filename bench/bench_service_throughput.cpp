@@ -22,6 +22,7 @@
 #include "analysis/drc.h"
 #include "arch/wires.h"
 #include "bench/bench_util.h"
+#include "check/lockcheck.h"
 #include "obs/metrics.h"
 #include "service/service.h"
 
@@ -172,6 +173,10 @@ void report(const char* mode, const RunResult& r, size_t reqs,
       .kv("accepted", r.accepted)
       .kv("parallel_planned", r.parallel)
       .kv("drc_paranoid", static_cast<uint64_t>(jrdrc::paranoidEnabled()))
+      // Armed vs disarmed records measure the lock-order checker's
+      // overhead on the same workload (budget: <3% disarmed).
+      .kv("lockcheck",
+          static_cast<uint64_t>(jrcheck::activeChecker().armed() ? 1 : 0))
       // E16 compares this build against -DJROUTE_NO_TELEMETRY: the flag
       // tells the two record populations apart in BENCH_service.json.
       .kv("telemetry", static_cast<uint64_t>(jrobs::compiledIn() ? 1 : 0));
@@ -191,6 +196,9 @@ void report(const char* mode, const RunResult& r, size_t reqs,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Honors JROUTE_LOCKCHECK so bench_record.sh can measure checker-armed
+  // vs disarmed throughput on the identical workload.
+  jrcheck::maybeArmFromEnv();
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   unsigned producers = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1]))
                                 : std::min(4u, hw);
@@ -200,9 +208,10 @@ int main(int argc, char** argv) {
   jrbench::Device& dev = jrbench::sharedDevice(xcv300());
   const std::vector<Req> work = makeDisjointWork(dev.graph);
   std::printf("service throughput: %zu tile-disjoint p2p routes on %s, "
-              "%u producer(s), %u core(s), DRC paranoid %s\n\n",
+              "%u producer(s), %u core(s), DRC paranoid %s, lockcheck %s\n\n",
               work.size(), std::string(xcv300().name).c_str(), producers, hw,
-              jrdrc::paranoidEnabled() ? "on" : "off");
+              jrdrc::paranoidEnabled() ? "on" : "off",
+              jrcheck::activeChecker().armed() ? "armed" : "off");
 
   RunResult bestSerial, bestSvc;
   for (int rep = 0; rep < reps; ++rep) {

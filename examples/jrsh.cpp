@@ -20,6 +20,7 @@
 
 #include "analysis/congestion.h"
 #include "analysis/drc.h"
+#include "check/lockcheck.h"
 #include "bitstream/bitfile.h"
 #include "core/router.h"
 #include "lookahead/lookahead.h"
@@ -347,6 +348,37 @@ bool cmdVerify(Session& s, std::istringstream& ls) {
   return true;
 }
 
+bool cmdLockcheck(Session&, std::istringstream& ls) {
+  // Run-time lock-order checking (jrcheck): report the acquisition-order
+  // graph and any potential-deadlock findings of the process-global
+  // checker. `arm`/`perturb` start a checking session here in the shell
+  // (usually it is armed from JROUTE_LOCKCHECK before startup).
+  std::string arg;
+  ls >> arg;
+  if (arg == "arm" || arg == "perturb") {
+    jrcheck::Options opts;
+    opts.perturb = arg == "perturb";
+    uint64_t seed = 0;
+    if (ls >> seed) opts.seed = seed;
+    jrcheck::arm(opts);
+    std::cout << "lock check armed (seed " << opts.seed << ", perturb "
+              << (opts.perturb ? "on" : "off") << ")\n";
+    return true;
+  }
+  if (arg == "off") {
+    jrcheck::disarm();
+    std::cout << "lock check disarmed\n";
+    return true;
+  }
+  const jrcheck::LockCheckReport rep = jrcheck::globalChecker().report();
+  if (arg == "json") {
+    std::cout << rep.json() << "\n";
+  } else {
+    std::cout << rep.summary();
+  }
+  return true;
+}
+
 bool cmdLookahead(Session& s, std::istringstream& ls) {
   // The per-device routing lookahead (src/lookahead): build cost, table
   // shape, quantization. Resolving it here warms the process-wide cache
@@ -502,6 +534,9 @@ std::span<const Command> commandTable() {
        "(arch/rrg/template/bitstream/lookahead rules)", true, cmdVerify},
       {"lookahead", "[json]", "per-device routing lookahead: build cost "
        "and table shape", true, cmdLookahead},
+      {"lockcheck", "[json|arm [<seed>]|perturb [<seed>]|off]",
+       "run-time lock-order checker: report, or arm it here", false,
+       cmdLockcheck},
       {"stats", "[json|reset]", "telemetry registry snapshot; reset also "
        "clears rings and heatmaps", false, cmdStats},
       {"why", "<r> <c> <wire> [json]", "provenance of the net holding a "
@@ -537,6 +572,7 @@ bool handle(Session& s, const std::string& line) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  jrcheck::maybeArmFromEnv();
   std::ifstream scriptFile;
   std::istream* in = &std::cin;
   if (argc > 1) {

@@ -2,8 +2,11 @@
 # Tier-1 verification: full build + test suite, then a bench smoke that
 # appends run records to BENCH_service.json and re-validates the JSONL,
 # then a forced-anomaly smoke that schema-checks a flight-recorder dump,
+# then a lockcheck-armed pass (JROUTE_LOCKCHECK=1) over the service and
+# lockcheck tests asserting an empty potential-deadlock report,
 # then a ThreadSanitizer pass over the concurrent routing service and
-# the telemetry subsystem, then an ASan+UBSan pass over the service, DRC
+# the telemetry subsystem with seeded schedule perturbation
+# (JROUTE_LOCKCHECK=perturb), then an ASan+UBSan pass over the service, DRC
 # analyzer, model-verifier, and telemetry tests, then a telemetry-compiled-out build
 # (-DJROUTE_NO_TELEMETRY) to prove the zero-overhead configuration still
 # builds and passes.
@@ -23,6 +26,15 @@ echo "== tier 1: build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "== tier 1: lock-order gate (jrcheck armed over service tests) =="
+# JROUTE_LOCKCHECK=1 arms the run-time lock-order checker in every test
+# process and installs an exit hook that fails the process on any
+# finding — so a lock inversion anywhere in the service/queue/obs
+# protocols fails tier 1 here even though no deadlock fired.
+JROUTE_LOCKCHECK=1 ctest --test-dir build --output-on-failure -j "$JOBS" \
+  -R 'Service|Lockcheck'
 
 echo
 echo "== tier 1: static model verification (jrverify over every device) =="
@@ -72,8 +84,12 @@ echo "== tier 1: ThreadSanitizer pass (routing service + telemetry) =="
 cmake -B build-tsan -S . -DJROUTE_TSAN=ON -DJROUTE_BUILD_BENCH=OFF \
   -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "$JOBS" --target jr_tests
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'Service|Obs|Lookahead'
+# Perturb mode: jrcheck injects seeded yields/sleeps at instrumented
+# lock points, so TSAN explores interleavings the host scheduler would
+# never produce. Any failure is replayable from the printed seed.
+JROUTE_LOCKCHECK=perturb JROUTE_LOCKCHECK_SEED=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'Service|Obs|Lookahead|Lockcheck'
 
 echo
 echo "== tier 1: ASan+UBSan pass (service + DRC analyzer + telemetry) =="
@@ -81,7 +97,7 @@ cmake -B build-asan -S . -DJROUTE_ASAN=ON -DJROUTE_UBSAN=ON \
   -DJROUTE_BUILD_BENCH=OFF -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$JOBS" --target jr_tests
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'Service|Drc|Obs|Verify|Lookahead'
+  -R 'Service|Drc|Obs|Verify|Lookahead|Lockcheck'
 
 echo
 echo "== tier 1: telemetry-compiled-out build (JROUTE_NO_TELEMETRY) =="
@@ -89,7 +105,7 @@ cmake -B build-notelem -S . -DJROUTE_NO_TELEMETRY=ON \
   -DJROUTE_BUILD_BENCH=OFF -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-notelem -j "$JOBS" --target jr_tests
 ctest --test-dir build-notelem --output-on-failure -j "$JOBS" \
-  -R 'Service|Drc|Obs|Verify|Lookahead'
+  -R 'Service|Drc|Obs|Verify|Lookahead|Lockcheck'
 
 echo
 echo "== tier 1: lint =="

@@ -1,0 +1,541 @@
+#include "check/lockcheck.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace jrcheck {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+/// Process-wide named-lock registry. Leaked on purpose: instrumented
+/// threads may lock during static destruction and their slots must keep
+/// resolving to names. Slot 0 is reserved for "unregistered".
+struct Registry {
+  std::mutex mu;
+  std::vector<std::string> names{"<none>"};
+};
+
+Registry& lockRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+/// Resolve (and on first sight assign) the registry slot of a mutex.
+uint32_t slotFor(jrsync::Mutex& mu) {
+  uint32_t s = mu.checkSlot().load(std::memory_order_acquire);
+  if (s != 0) return s;
+  Registry& reg = lockRegistry();
+  std::lock_guard lk(reg.mu);
+  s = mu.checkSlot().load(std::memory_order_relaxed);
+  if (s == 0) {
+    reg.names.emplace_back(mu.name());
+    s = static_cast<uint32_t>(reg.names.size() - 1);
+    mu.checkSlot().store(s, std::memory_order_release);
+  }
+  return s;
+}
+
+size_t registrySize() {
+  Registry& reg = lockRegistry();
+  std::lock_guard lk(reg.mu);
+  return reg.names.size() - 1;  // slot 0 is the reserved sentinel
+}
+
+std::vector<std::string> registryNames() {
+  Registry& reg = lockRegistry();
+  std::lock_guard lk(reg.mu);
+  return {reg.names.begin() + 1, reg.names.end()};
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& allRules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"lock-order-inversion",
+       "two locks are acquired in opposite orders on some pair of "
+       "observations (a cycle in the acquisition-order graph): a potential "
+       "deadlock, reported without one having to fire"},
+      {"lock-recursion",
+       "a thread re-acquires a non-recursive mutex it already holds "
+       "(guaranteed self-deadlock or UB)"},
+      {"release-not-held",
+       "a mutex is released by a thread that does not hold it (UB on "
+       "std::mutex)"},
+  };
+  return kRules;
+}
+
+uint32_t registerLock(const char* name) {
+  Registry& reg = lockRegistry();
+  std::lock_guard lk(reg.mu);
+  reg.names.emplace_back(name);
+  return static_cast<uint32_t>(reg.names.size() - 1);
+}
+
+std::string lockName(uint32_t slot) {
+  Registry& reg = lockRegistry();
+  std::lock_guard lk(reg.mu);
+  if (slot >= reg.names.size()) return "?";
+  return reg.names[slot];
+}
+
+uint32_t currentThreadTag() {
+  static std::atomic<uint32_t> nextTag{1};
+  thread_local uint32_t tag = nextTag.fetch_add(1);
+  return tag;
+}
+
+// --- Checker ---------------------------------------------------------------------
+
+struct Checker::Impl {
+  /// One wait-for edge `held -> acquired` with the observation that
+  /// created it. The checker's own lock is a raw std::mutex — it must
+  /// never feed the instrumentation it implements.
+  struct Witness {
+    uint32_t thread = 0;
+    std::string stack;  // "thread 3 held [a, b] acquiring c"
+  };
+  struct ThreadState {
+    std::vector<uint32_t> held;
+    xcvsim::Rng rng{0};
+    bool rngInit = false;
+  };
+
+  mutable std::mutex mu;
+  bool armed = false;
+  Options opts;
+  std::map<uint32_t, ThreadState> threads;
+  std::map<std::pair<uint32_t, uint32_t>, Witness> edges;
+  std::vector<Finding> findings;
+  std::set<std::string> findingKeys;
+  uint64_t acquires = 0;
+  uint64_t perturbs = 0;
+
+  std::string describe(uint32_t thread, const std::vector<uint32_t>& held,
+                       uint32_t acquiring) const {
+    std::string s = "thread " + std::to_string(thread) + " held [";
+    for (size_t i = 0; i < held.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += lockName(held[i]);
+    }
+    s += "] acquiring " + lockName(acquiring);
+    return s;
+  }
+
+  /// DFS: is `goal` reachable from `from` over recorded edges? Fills
+  /// `path` with the slot sequence from .. goal when it is.
+  bool reaches(uint32_t from, uint32_t goal, std::set<uint32_t>& seen,
+               std::vector<uint32_t>& path) const {
+    path.push_back(from);
+    if (from == goal) return true;
+    seen.insert(from);
+    for (const auto& [edge, w] : edges) {
+      if (edge.first != from || seen.count(edge.second) != 0) continue;
+      if (reaches(edge.second, goal, seen, path)) return true;
+    }
+    path.pop_back();
+    return false;
+  }
+
+  void addFinding(Finding f, const std::string& key) {
+    if (!findingKeys.insert(key).second) return;
+    findings.push_back(std::move(f));
+  }
+
+  /// New edge u -> v just landed; a path v ->* u closes a cycle.
+  void checkCycle(uint32_t thread, uint32_t u, uint32_t v) {
+    std::set<uint32_t> seen;
+    std::vector<uint32_t> path;
+    if (!reaches(v, u, seen, path)) return;
+    // Cycle as slots: u, v, ..., u (path runs v..u).
+    std::vector<uint32_t> cycle;
+    cycle.push_back(u);
+    cycle.insert(cycle.end(), path.begin(), path.end());
+    // Canonical key: rotate the body (without the closing repeat) so the
+    // smallest slot leads — the same cycle found from any entry point
+    // dedupes to one finding.
+    std::vector<uint32_t> body(cycle.begin(), cycle.end() - 1);
+    const auto minIt = std::min_element(body.begin(), body.end());
+    std::rotate(body.begin(), minIt, body.end());
+    std::string key = "cycle:";
+    for (const uint32_t s : body) key += std::to_string(s) + ",";
+
+    Finding f;
+    f.rule = "lock-order-inversion";
+    f.thread = thread;
+    for (const uint32_t s : cycle) f.cycle.push_back(lockName(s));
+    for (size_t i = 0; i + 1 < cycle.size(); ++i) {
+      const auto it = edges.find({cycle[i], cycle[i + 1]});
+      if (it != edges.end()) f.stacks.push_back(it->second.stack);
+    }
+    f.message = "locks are acquired in inconsistent order: ";
+    for (size_t i = 0; i < f.cycle.size(); ++i) {
+      if (i > 0) f.message += " -> ";
+      f.message += f.cycle[i];
+    }
+    addFinding(std::move(f), key);
+  }
+};
+
+Checker::Checker() : impl_(new Impl) {}
+Checker::~Checker() { delete impl_; }
+
+void Checker::arm(Options opts) {
+  std::lock_guard lk(impl_->mu);
+  impl_->armed = true;
+  impl_->opts = opts;
+}
+
+void Checker::disarm() {
+  std::lock_guard lk(impl_->mu);
+  impl_->armed = false;
+}
+
+bool Checker::armed() const {
+  std::lock_guard lk(impl_->mu);
+  return impl_->armed;
+}
+
+Options Checker::options() const {
+  std::lock_guard lk(impl_->mu);
+  return impl_->opts;
+}
+
+PerturbAction Checker::noteAcquiring(uint32_t thread, uint32_t slot) {
+  std::lock_guard lk(impl_->mu);
+  Impl::ThreadState& ts = impl_->threads[thread];
+
+  if (std::find(ts.held.begin(), ts.held.end(), slot) != ts.held.end()) {
+    Finding f;
+    f.rule = "lock-recursion";
+    f.thread = thread;
+    f.cycle = {lockName(slot)};
+    f.stacks = {impl_->describe(thread, ts.held, slot)};
+    f.message = "thread " + std::to_string(thread) + " re-acquires " +
+                lockName(slot) + " it already holds";
+    impl_->addFinding(std::move(f),
+                      "recursion:" + std::to_string(slot));
+    return PerturbAction::kNone;
+  }
+
+  for (const uint32_t held : ts.held) {
+    const auto key = std::make_pair(held, slot);
+    if (impl_->edges.count(key) != 0) continue;
+    Impl::Witness w;
+    w.thread = thread;
+    w.stack = impl_->describe(thread, ts.held, slot);
+    impl_->edges.emplace(key, std::move(w));
+    impl_->checkCycle(thread, held, slot);
+  }
+
+  if (!impl_->opts.perturb) return PerturbAction::kNone;
+  if (!ts.rngInit) {
+    // Per-thread deterministic stream derived from the one seed; the
+    // golden-ratio multiplier decorrelates adjacent tags before the
+    // Rng's own splitmix scrambling.
+    ts.rng = xcvsim::Rng(impl_->opts.seed +
+                         0x9E3779B97F4A7C15ull * (thread + 1));
+    ts.rngInit = true;
+  }
+  const uint64_t draw = ts.rng.below(128);
+  if (draw == 0) {
+    ++impl_->perturbs;
+    return PerturbAction::kSleep;
+  }
+  if (draw <= 8) {
+    ++impl_->perturbs;
+    return PerturbAction::kYield;
+  }
+  return PerturbAction::kNone;
+}
+
+void Checker::noteAcquired(uint32_t thread, uint32_t slot) {
+  std::lock_guard lk(impl_->mu);
+  ++impl_->acquires;
+  impl_->threads[thread].held.push_back(slot);
+}
+
+void Checker::noteReleased(uint32_t thread, uint32_t slot) {
+  std::lock_guard lk(impl_->mu);
+  Impl::ThreadState& ts = impl_->threads[thread];
+  const auto it = std::find(ts.held.rbegin(), ts.held.rend(), slot);
+  if (it == ts.held.rend()) {
+    Finding f;
+    f.rule = "release-not-held";
+    f.thread = thread;
+    f.cycle = {lockName(slot)};
+    f.stacks = {impl_->describe(thread, ts.held, slot)};
+    f.message = "thread " + std::to_string(thread) + " releases " +
+                lockName(slot) + " without holding it";
+    impl_->addFinding(std::move(f),
+                      "release:" + std::to_string(slot) + ":" +
+                          std::to_string(thread));
+    return;
+  }
+  ts.held.erase(std::next(it).base());
+}
+
+CheckStats Checker::statsSnapshot() const {
+  CheckStats s;
+  {
+    std::lock_guard lk(impl_->mu);
+    s.acquires = impl_->acquires;
+    s.orderEdges = impl_->edges.size();
+    s.perturbations = impl_->perturbs;
+    s.findings = impl_->findings.size();
+  }
+  s.locksRegistered = registrySize();
+  return s;
+}
+
+LockCheckReport Checker::report() const {
+  LockCheckReport rep;
+  rep.stats = statsSnapshot();
+  rep.locks = registryNames();
+  std::lock_guard lk(impl_->mu);
+  rep.armed = impl_->armed;
+  rep.perturb = impl_->opts.perturb;
+  rep.seed = impl_->opts.seed;
+  std::set<std::pair<std::string, std::string>> namePairs;
+  for (const auto& [edge, w] : impl_->edges) {
+    namePairs.insert({lockName(edge.first), lockName(edge.second)});
+  }
+  rep.order.assign(namePairs.begin(), namePairs.end());
+  rep.findings = impl_->findings;
+  std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     if (a.cycle != b.cycle) return a.cycle < b.cycle;
+                     return a.thread < b.thread;
+                   });
+  return rep;
+}
+
+void Checker::clear() {
+  std::lock_guard lk(impl_->mu);
+  impl_->threads.clear();
+  impl_->edges.clear();
+  impl_->findings.clear();
+  impl_->findingKeys.clear();
+  impl_->acquires = 0;
+  impl_->perturbs = 0;
+}
+
+// --- Report rendering -------------------------------------------------------------
+
+bool LockCheckReport::firedRule(std::string_view id) const {
+  for (const Finding& f : findings) {
+    if (f.rule == id) return true;
+  }
+  return false;
+}
+
+std::string LockCheckReport::summary() const {
+  std::ostringstream os;
+  os << "lock check: " << (armed ? "armed" : "disarmed") << " (seed " << seed
+     << ", perturb " << (perturb ? "on" : "off") << ")\n";
+  os << "  locks: " << stats.locksRegistered << " registered, "
+     << stats.acquires << " acquisitions, " << stats.orderEdges
+     << " order edges, " << stats.perturbations << " perturbations\n";
+  for (const auto& [from, to] : order) {
+    os << "  order: " << from << " -> " << to << "\n";
+  }
+  if (findings.empty()) {
+    os << "  findings: none\n";
+    return os.str();
+  }
+  os << "  findings: " << findings.size() << "\n";
+  for (const Finding& f : findings) {
+    os << "  finding " << f.rule << ": " << f.message << "\n";
+    for (const std::string& s : f.stacks) os << "    " << s << "\n";
+  }
+  return os.str();
+}
+
+std::string LockCheckReport::json() const {
+  std::ostringstream os;
+  os << "{\"lockcheck\":{\"armed\":" << (armed ? "true" : "false")
+     << ",\"perturb\":" << (perturb ? "true" : "false") << ",\"seed\":" << seed
+     << ",\"stats\":{\"acquires\":" << stats.acquires
+     << ",\"order_edges\":" << stats.orderEdges
+     << ",\"perturbations\":" << stats.perturbations
+     << ",\"locks_registered\":" << stats.locksRegistered << "}";
+  os << ",\"locks\":[";
+  for (size_t i = 0; i < locks.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << jsonEscape(locks[i]) << '"';
+  }
+  os << "],\"order\":[";
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "[\"" << jsonEscape(order[i].first) << "\",\""
+       << jsonEscape(order[i].second) << "\"]";
+  }
+  os << "],\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) os << ',';
+    os << "{\"rule\":\"" << jsonEscape(f.rule)
+       << "\",\"thread\":" << f.thread << ",\"cycle\":[";
+    for (size_t j = 0; j < f.cycle.size(); ++j) {
+      if (j > 0) os << ',';
+      os << '"' << jsonEscape(f.cycle[j]) << '"';
+    }
+    os << "],\"stacks\":[";
+    for (size_t j = 0; j < f.stacks.size(); ++j) {
+      if (j > 0) os << ',';
+      os << '"' << jsonEscape(f.stacks[j]) << '"';
+    }
+    os << "],\"message\":\"" << jsonEscape(f.message) << "\"}";
+  }
+  os << "]}}";
+  return os.str();
+}
+
+// --- Active-checker routing and arming ---------------------------------------------
+
+namespace {
+
+/// Null means "the global checker": avoids any static-init ordering
+/// between this pointer and the globalChecker() singleton.
+std::atomic<Checker*> g_active{nullptr};
+
+void refreshArmedFlag() {
+  detail::armedFlag.store(activeChecker().armed() ? 1 : 0,
+                          std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Checker& globalChecker() {
+  // Leaked on purpose: instrumented threads may lock during static
+  // destruction, and the active checker must stay valid to the end.
+  static Checker* c = new Checker();
+  return *c;
+}
+
+Checker& activeChecker() {
+  Checker* c = g_active.load(std::memory_order_acquire);
+  return c != nullptr ? *c : globalChecker();
+}
+
+ScopedChecker::ScopedChecker(Options opts) {
+  mine_.arm(opts);
+  prev_ = g_active.exchange(&mine_, std::memory_order_acq_rel);
+  detail::armedFlag.store(1, std::memory_order_relaxed);
+}
+
+ScopedChecker::~ScopedChecker() {
+  g_active.store(prev_, std::memory_order_release);
+  refreshArmedFlag();
+}
+
+void arm(Options opts) {
+  globalChecker().arm(opts);
+  refreshArmedFlag();
+}
+
+void disarm() {
+  globalChecker().disarm();
+  refreshArmedFlag();
+}
+
+void maybeArmFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* mode = std::getenv("JROUTE_LOCKCHECK");
+    if (mode == nullptr || mode[0] == '\0' || mode == std::string("0")) {
+      return;
+    }
+    Options opts;
+    opts.perturb = std::string(mode) == "perturb";
+    if (const char* seed = std::getenv("JROUTE_LOCKCHECK_SEED")) {
+      opts.seed = std::strtoull(seed, nullptr, 10);
+    }
+    arm(opts);
+    // Env arming is the tier-1 gate: a finding anywhere in the process
+    // fails it at exit, with the seed named for deterministic replay.
+    std::atexit([] {
+      const LockCheckReport rep = globalChecker().report();
+      if (rep.clean()) return;
+      std::fprintf(stderr, "%s", rep.summary().c_str());
+      std::fprintf(stderr,
+                   "jrcheck: FAILED — %zu finding(s); replay with "
+                   "JROUTE_LOCKCHECK_SEED=%llu\n",
+                   rep.findings.size(),
+                   static_cast<unsigned long long>(rep.seed));
+      std::_Exit(66);
+    });
+  });
+}
+
+// --- Instrumentation hooks (common/sync.h) ----------------------------------------
+
+namespace detail {
+
+std::atomic<uint32_t> armedFlag{0};
+
+namespace {
+
+/// Reentrancy guard: the checker's bookkeeping must never observe itself
+/// (it uses raw std::mutex precisely so this stays a belt-and-braces
+/// check rather than a correctness requirement).
+thread_local bool inHook = false;
+
+}  // namespace
+
+void acquiring(jrsync::Mutex& mu) {
+  if (inHook) return;
+  inHook = true;
+  const PerturbAction act =
+      activeChecker().noteAcquiring(currentThreadTag(), slotFor(mu));
+  inHook = false;
+  // Perturb outside the checker's lock so injected delays overlap.
+  if (act == PerturbAction::kYield) {
+    std::this_thread::yield();
+  } else if (act == PerturbAction::kSleep) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void acquired(jrsync::Mutex& mu) {
+  if (inHook) return;
+  inHook = true;
+  activeChecker().noteAcquired(currentThreadTag(), slotFor(mu));
+  inHook = false;
+}
+
+void released(jrsync::Mutex& mu) {
+  if (inHook) return;
+  inHook = true;
+  activeChecker().noteReleased(currentThreadTag(), slotFor(mu));
+  inHook = false;
+}
+
+}  // namespace detail
+
+}  // namespace jrcheck

@@ -1,0 +1,185 @@
+// jrcheck: a run-time concurrency checker for the annotated lock layer.
+//
+// The clang -Wthread-safety pass (scripts/lint.sh) proves *which* mutex
+// guards which data, but it says nothing about lock *ordering*: two
+// protocols that are each internally consistent can still deadlock when
+// composed, and the inversion only fires under a scheduler unlucky enough
+// to interleave the two acquisition chains. This module closes that gap
+// the way jrverify closed the model gap: mechanically, and without
+// needing the failure to occur. Every jrsync::Mutex is a named,
+// registry-backed lock; when the checker is armed it records the
+// per-thread acquisition-order graph (an edge u -> v whenever a thread
+// holding u blocks on v) and reports any cycle as a potential deadlock —
+// a deterministic Finding{rule, thread, cycle, stacks-lite} — even if the
+// two halves of the inversion were observed minutes apart on different
+// threads. Two cheaper liveness rules ride along: re-acquiring a held
+// non-recursive mutex, and releasing a mutex the thread does not hold.
+//
+// The checker doubles as a schedule perturbator: armed with
+// `Options{perturb = true}`, it injects PCT-style randomized yields and
+// short sleeps at acquisition points, driven by a per-thread
+// xcvsim-deterministic RNG derived from one seed, so the TSAN tier-1 pass
+// explores interleavings the host scheduler would never produce — and any
+// failure names the seed for replay.
+//
+// Arming: programmatic (arm()/ScopedChecker for tests) or via the
+// environment (JROUTE_LOCKCHECK=1 or =perturb, JROUTE_LOCKCHECK_SEED=n;
+// picked up by maybeArmFromEnv(), which the routing service, jrsh, and
+// the benches call at startup). Env-armed processes install an exit hook
+// that fails the process if any finding was recorded, which is what the
+// tier-1 lockcheck gate leans on. Disarmed, the whole subsystem costs
+// one relaxed load per lock operation (see common/sync.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace jrcheck {
+
+/// One potential-deadlock (or lock-misuse) observation. Deterministic for
+/// a deterministic event sequence; deduplicated by rule + cycle.
+struct Finding {
+  std::string rule;    ///< id of the rule that fired
+  uint32_t thread = 0; ///< small per-thread tag of the observing thread
+  /// Lock names walking the cycle, first repeated last for the order
+  /// rule ("a -> b -> a"); the single lock involved otherwise.
+  std::vector<std::string> cycle;
+  /// Stacks-lite: one "thread T held [..] acquiring X" line per edge
+  /// witness in the cycle (the order rule), or for the offending op.
+  std::vector<std::string> stacks;
+  std::string message;
+};
+
+/// Catalogue entry; tests/lockcheck_test.cpp proves every rule can fire.
+struct RuleInfo {
+  const char* id;
+  const char* description;
+};
+
+/// The rule catalogue, in report order.
+const std::vector<RuleInfo>& allRules();
+
+/// Cheap counters for telemetry (service.lockcheck.* gauges).
+struct CheckStats {
+  uint64_t acquires = 0;       ///< instrumented acquisitions observed
+  uint64_t orderEdges = 0;     ///< distinct acquisition-order edges
+  uint64_t perturbations = 0;  ///< yields + sleeps injected
+  uint64_t findings = 0;
+  uint64_t locksRegistered = 0;  ///< process-wide named-lock registry size
+};
+
+/// Deterministic result of one checking session.
+struct LockCheckReport {
+  bool armed = false;
+  bool perturb = false;
+  uint64_t seed = 0;
+  CheckStats stats;
+  std::vector<std::string> locks;  ///< registered lock names, slot order
+  /// Observed acquisition-order edges as (held, acquired) name pairs,
+  /// deduplicated and sorted.
+  std::vector<std::pair<std::string, std::string>> order;
+  std::vector<Finding> findings;  ///< sorted by (rule, cycle, thread)
+
+  bool clean() const { return findings.empty(); }
+  bool firedRule(std::string_view id) const;
+
+  /// Human-readable multi-line report (jrsh `lockcheck`).
+  std::string summary() const;
+  /// Machine-readable single-object JSON (jrsh `lockcheck json`).
+  std::string json() const;
+};
+
+struct Options {
+  uint64_t seed = 1;     ///< perturbation seed; echoed in every report
+  bool perturb = false;  ///< inject randomized yields/sleeps at lock points
+};
+
+/// What the perturbator decided at an acquisition point. The hook layer
+/// performs the action *outside* the checker's own lock.
+enum class PerturbAction : uint8_t { kNone, kYield, kSleep };
+
+/// One checking session: the acquisition-order graph, per-thread held
+/// stacks, findings. Instrumentation feeds the active checker (see
+/// activeChecker()); liveness tests drive the note* API directly with
+/// synthetic thread tags and registry slots.
+class Checker {
+ public:
+  Checker();
+  ~Checker();
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  void arm(Options opts = {});
+  void disarm();
+  bool armed() const;
+  Options options() const;
+
+  /// Thread `thread` is about to block on `slot`. Records wait-for edges
+  /// from every lock the thread holds, runs the cycle check, and returns
+  /// the perturbation decision for this point.
+  PerturbAction noteAcquiring(uint32_t thread, uint32_t slot);
+  /// Thread `thread` now holds `slot`.
+  void noteAcquired(uint32_t thread, uint32_t slot);
+  /// Thread `thread` released `slot`.
+  void noteReleased(uint32_t thread, uint32_t slot);
+
+  LockCheckReport report() const;
+  CheckStats statsSnapshot() const;
+  /// Drop findings, edges, and held stacks (not the arming state).
+  void clear();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-global checker (what env arming and jrsh drive).
+Checker& globalChecker();
+
+/// The checker instrumentation currently reports into; the global one
+/// unless a ScopedChecker is installed.
+Checker& activeChecker();
+
+/// RAII redirect of all instrumentation into a private, armed checker —
+/// the mutation harness (tests) seeds inversions without polluting the
+/// global report the tier-1 gate asserts on.
+class ScopedChecker {
+ public:
+  explicit ScopedChecker(Options opts = {});
+  ~ScopedChecker();
+  ScopedChecker(const ScopedChecker&) = delete;
+  ScopedChecker& operator=(const ScopedChecker&) = delete;
+
+  Checker& checker() { return mine_; }
+
+ private:
+  Checker mine_;
+  Checker* prev_;
+};
+
+/// Arm the global checker (and refresh the fast-path flag).
+void arm(Options opts = {});
+void disarm();
+
+/// Arm from JROUTE_LOCKCHECK (=1 plain, =perturb with schedule
+/// perturbation) and JROUTE_LOCKCHECK_SEED. Idempotent; installs an exit
+/// hook that prints the report and fails the process on any finding, so
+/// `JROUTE_LOCKCHECK=1 ctest -R Service` *is* the deadlock-freedom gate.
+void maybeArmFromEnv();
+
+/// Small dense tag for the calling thread (stable for its lifetime).
+uint32_t currentThreadTag();
+
+/// Register a synthetic named lock and return its slot (tests; real
+/// mutexes self-register on first armed acquisition).
+uint32_t registerLock(const char* name);
+
+/// Name behind a registry slot ("?" when out of range).
+std::string lockName(uint32_t slot);
+
+}  // namespace jrcheck

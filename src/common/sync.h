@@ -1,4 +1,4 @@
-// Annotated synchronisation primitives.
+// Annotated, instrumented synchronisation primitives.
 //
 // libstdc++'s std::mutex carries no clang capability attribute, so code
 // that wants -Wthread-safety checking needs this thin wrapper: the same
@@ -6,23 +6,88 @@
 // JR_REQUIRES relationships are enforceable. MutexLock is the RAII guard
 // (std::lock_guard is likewise unannotated in libstdc++).
 //
+// Every Mutex is also a *named, registry-backed* lock for jrcheck
+// (src/check), the run-time lock-order checker: when the checker is armed
+// it observes every acquisition and release through the hooks declared
+// below, builds the per-thread acquisition-order graph, and reports
+// potential deadlocks (cycles) without one ever having to fire. Disarmed
+// — the default — each hook is a single relaxed atomic load and a
+// never-taken branch, so the hot path pays effectively nothing; the
+// checker library defines the hooks, this header only declares them.
+//
 // Mutex satisfies BasicLockable, so std::condition_variable_any can wait
 // on it directly.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 
 #include "common/types.h"
 
 namespace jrsync {
+class Mutex;
+}  // namespace jrsync
+
+namespace jrcheck::detail {
+
+/// Nonzero while any checker (global or test-scoped) is armed. Defined in
+/// src/check/lockcheck.cpp; declared here so the fast-path test inlines.
+extern std::atomic<uint32_t> armedFlag;
+
+// Instrumentation hooks, defined by src/check. `acquiring` runs before
+// the underlying lock (the wait-for edge and the schedule-perturbation
+// point), `acquired` after it succeeds, `released` before the unlock.
+void acquiring(jrsync::Mutex& mu);
+void acquired(jrsync::Mutex& mu);
+void released(jrsync::Mutex& mu);
+
+}  // namespace jrcheck::detail
+
+namespace jrcheck {
+
+/// Is any lock checker currently armed? (Relaxed: arming mid-flight may
+/// miss a few events; the disarmed hot path stays one load + one branch.)
+inline bool armed() {
+  return detail::armedFlag.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace jrcheck
+
+namespace jrsync {
 
 class JR_CAPABILITY("mutex") Mutex {
  public:
-  void lock() JR_ACQUIRE() { mu_.lock(); }
-  void unlock() JR_RELEASE() { mu_.unlock(); }
-  bool try_lock() JR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  Mutex() = default;
+  /// `name` must outlive the mutex (string literals in practice); it is
+  /// what jrcheck reports show for this lock.
+  explicit Mutex(const char* name) : name_(name) {}
+
+  void lock() JR_ACQUIRE() {
+    if (jrcheck::armed()) jrcheck::detail::acquiring(*this);
+    mu_.lock();
+    if (jrcheck::armed()) jrcheck::detail::acquired(*this);
+  }
+  void unlock() JR_RELEASE() {
+    if (jrcheck::armed()) jrcheck::detail::released(*this);
+    mu_.unlock();
+  }
+  bool try_lock() JR_TRY_ACQUIRE(true) {
+    // A failed try_lock cannot block, so it records no wait-for edge;
+    // a successful one still joins the held stack.
+    const bool got = mu_.try_lock();
+    if (got && jrcheck::armed()) jrcheck::detail::acquired(*this);
+    return got;
+  }
+
+  const char* name() const { return name_; }
+
+  /// jrcheck registry slot (0 = not yet registered). Assigned once, by
+  /// the checker, on first armed acquisition.
+  std::atomic<uint32_t>& checkSlot() { return slot_; }
 
  private:
+  const char* name_ = "mutex";
+  std::atomic<uint32_t> slot_{0};
   std::mutex mu_;
 };
 

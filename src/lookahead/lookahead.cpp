@@ -4,11 +4,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <numeric>
 #include <sstream>
 #include <utility>
 
+#include "common/sync.h"
 #include "fabric/timing.h"
 #include "obs/metrics.h"
 
@@ -315,11 +315,11 @@ const Lookahead& Lookahead::forGraph(const Graph& g) {
   // Leaked on purpose: engine threads may consult the table during static
   // destruction. Keyed by device name — the table depends only on the
   // architecture, not on the particular Graph instance.
-  static std::mutex* mu = new std::mutex;
+  static jrsync::Mutex* mu = new jrsync::Mutex("lookahead.cache");
   static std::map<std::string, std::unique_ptr<Lookahead>>* cache =
       new std::map<std::string, std::unique_ptr<Lookahead>>;
   const std::string key(g.device().name);
-  std::lock_guard lk(*mu);
+  jrsync::MutexLock lk(*mu);
   auto it = cache->find(key);
   if (it == cache->end()) {
     it = cache->emplace(key, std::make_unique<Lookahead>(g)).first;

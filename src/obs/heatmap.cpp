@@ -8,8 +8,9 @@
 #ifndef JROUTE_NO_TELEMETRY
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/sync.h"
 #endif
 
 namespace jrobs {
@@ -103,11 +104,12 @@ struct CongestionGrid::Impl {
     std::unique_ptr<std::atomic<uint64_t>[]> v;
   };
 
-  std::mutex mu;  // configure/reset/snapshot; add() is lock-free
+  // configure/reset/snapshot; add() is lock-free
+  mutable jrsync::Mutex mu{"obs.heatmap"};
   std::atomic<Cells*> cells{nullptr};
   // Arrays replaced by a geometry change; concurrent add()ers may still
   // hold their pointers, so they stay alive until the grid is destroyed.
-  std::vector<Cells*> retired;
+  std::vector<Cells*> retired JR_GUARDED_BY(mu);
 };
 
 CongestionGrid::CongestionGrid() : impl_(new Impl) {}
@@ -115,7 +117,10 @@ CongestionGrid::CongestionGrid() : impl_(new Impl) {}
 CongestionGrid::~CongestionGrid() {
   // No add() can be in flight once the destructor runs, so the retired
   // arrays are finally safe to free.
-  for (Impl::Cells* c : impl_->retired) delete c;
+  {
+    jrsync::MutexLock lock(impl_->mu);
+    for (Impl::Cells* c : impl_->retired) delete c;
+  }
   delete impl_->cells.load(std::memory_order_acquire);
   delete impl_;
 }
@@ -125,7 +130,7 @@ void CongestionGrid::configure(int fabricRows, int fabricCols, int cellRows,
   if (fabricRows <= 0 || fabricCols <= 0) return;
   if (cellRows <= 0) cellRows = 1;
   if (cellCols <= 0) cellCols = 1;
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   Impl::Cells* cur = impl_->cells.load(std::memory_order_acquire);
   if (cur && cur->fabricRows == fabricRows && cur->fabricCols == fabricCols &&
       cur->cellRows == cellRows && cur->cellCols == cellCols) {
@@ -171,7 +176,7 @@ void CongestionGrid::add(int row, int col, uint64_t n) {
 }
 
 void CongestionGrid::reset() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   Impl::Cells* c = impl_->cells.load(std::memory_order_acquire);
   if (!c) return;
   const size_t n =
@@ -182,7 +187,7 @@ void CongestionGrid::reset() {
 Heatmap CongestionGrid::snapshot(const std::string& title) const {
   Heatmap h;
   h.title = title;
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  jrsync::MutexLock lock(impl_->mu);
   Impl::Cells* c = impl_->cells.load(std::memory_order_acquire);
   if (!c) return h;
   h.gridRows = c->gridRows;

@@ -4,8 +4,9 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
+
+#include "common/sync.h"
 
 namespace jrobs {
 
@@ -127,16 +128,16 @@ struct MetricsRegistry::Impl {
     std::unique_ptr<Histogram> histogram;
     size_t order = 0;  // registration order, for stable output
   };
-  mutable std::mutex mu;
-  std::map<std::string, Entry, std::less<>> entries;
-  size_t nextOrder = 0;
+  mutable jrsync::Mutex mu{"obs.metrics"};
+  std::map<std::string, Entry, std::less<>> entries JR_GUARDED_BY(mu);
+  size_t nextOrder JR_GUARDED_BY(mu) = 0;
 };
 
 MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
 MetricsRegistry::~MetricsRegistry() { delete impl_; }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lk(impl_->mu);
+  jrsync::MutexLock lk(impl_->mu);
   auto it = impl_->entries.find(name);
   if (it == impl_->entries.end()) {
     Impl::Entry e;
@@ -149,7 +150,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard lk(impl_->mu);
+  jrsync::MutexLock lk(impl_->mu);
   auto it = impl_->entries.find(name);
   if (it == impl_->entries.end()) {
     Impl::Entry e;
@@ -162,7 +163,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard lk(impl_->mu);
+  jrsync::MutexLock lk(impl_->mu);
   auto it = impl_->entries.find(name);
   if (it == impl_->entries.end()) {
     Impl::Entry e;
@@ -176,7 +177,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard lk(impl_->mu);
+  jrsync::MutexLock lk(impl_->mu);
   snap.samples.resize(impl_->entries.size());
   for (const auto& [name, e] : impl_->entries) {
     MetricSample& s = snap.samples[e.order];
@@ -203,7 +204,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lk(impl_->mu);
+  jrsync::MutexLock lk(impl_->mu);
   for (auto& [name, e] : impl_->entries) {
     switch (e.kind) {
       case MetricKind::kCounter: e.counter->reset(); break;

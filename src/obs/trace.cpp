@@ -6,9 +6,10 @@
 #include <array>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <vector>
+
+#include "common/sync.h"
 #endif
 
 namespace jrobs {
@@ -24,8 +25,9 @@ struct Tracer::Ring {
 };
 
 struct Tracer::Impl {
-  std::mutex mu;  // ring registration and export only — never on record
-  std::vector<std::unique_ptr<Ring>> rings;
+  // Ring registration and export only — never on record.
+  mutable jrsync::Mutex mu{"obs.trace"};
+  std::vector<std::unique_ptr<Ring>> rings JR_GUARDED_BY(mu);
 };
 
 Tracer::Tracer() : impl_(new Impl) {
@@ -44,14 +46,14 @@ Tracer::Ring& Tracer::localRing() {
   if (ring == nullptr) {
     auto owned = std::make_unique<Ring>();
     ring = owned.get();
-    std::lock_guard lk(impl_->mu);
+    jrsync::MutexLock lk(impl_->mu);
     impl_->rings.push_back(std::move(owned));
   }
   return *ring;
 }
 
 void Tracer::start() {
-  std::lock_guard lk(impl_->mu);
+  jrsync::MutexLock lk(impl_->mu);
   for (auto& r : impl_->rings) r->head.store(0, std::memory_order_release);
   enabled_.store(true, std::memory_order_release);
 }
@@ -59,7 +61,7 @@ void Tracer::start() {
 void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
 
 void Tracer::clear() {
-  std::lock_guard lk(impl_->mu);
+  jrsync::MutexLock lk(impl_->mu);
   for (auto& r : impl_->rings) r->head.store(0, std::memory_order_release);
 }
 
@@ -92,7 +94,7 @@ void Tracer::instant(const char* cat, const char* name) {
 }
 
 size_t Tracer::eventCount() const {
-  std::lock_guard lk(impl_->mu);
+  jrsync::MutexLock lk(impl_->mu);
   size_t n = 0;
   for (const auto& r : impl_->rings) {
     n += static_cast<size_t>(
@@ -103,7 +105,7 @@ size_t Tracer::eventCount() const {
 }
 
 size_t Tracer::droppedCount() const {
-  std::lock_guard lk(impl_->mu);
+  jrsync::MutexLock lk(impl_->mu);
   size_t n = 0;
   for (const auto& r : impl_->rings) {
     const uint64_t h = r->head.load(std::memory_order_acquire);
@@ -115,7 +117,7 @@ size_t Tracer::droppedCount() const {
 std::string Tracer::exportJson() const {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  std::lock_guard lk(impl_->mu);
+  jrsync::MutexLock lk(impl_->mu);
   bool first = true;
   char buf[64];
   uint64_t dropped = 0;

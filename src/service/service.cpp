@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "analysis/congestion.h"
+#include "check/lockcheck.h"
 #include "common/error.h"
 #include "fabric/trace.h"
 #include "obs/flightrec.h"
@@ -135,6 +136,9 @@ RoutingService::RoutingService(xcvsim::Fabric& fabric, ServiceOptions opts)
       router_(fabric, opts.router),
       claims_(fabric.graph().numNodes()),
       queue_(opts.queueCapacity) {
+  // Lock-order checking opts in via JROUTE_LOCKCHECK before the engine or
+  // any worker takes its first instrumented lock.
+  jrcheck::maybeArmFromEnv();
   // Spatial claim-conflict accounting (jrsh `heatmap conflicts`): same
   // device geometry, same cells, across every service on this fabric.
   const auto& dev = fabric.graph().device();
@@ -166,7 +170,7 @@ void RoutingService::stop() {
     }
   }
   {
-    std::lock_guard lk(workMu_);
+    jrsync::MutexLock lk(workMu_);
     shutdownWorkers_ = true;
   }
   workCv_.notify_all();
@@ -185,13 +189,13 @@ void RoutingService::closeSession(Session& session, bool unrouteOwned) {
   const uint64_t id = session.id();
   if (unrouteOwned) {
     std::vector<NodeId> owned = netsOf(id);
-    std::lock_guard lk(fabricMu_);
+    jrsync::MutexLock lk(fabricMu_);
     for (const NodeId src : owned) {
       if (fabric_->isUsed(src)) unrouteNode(src);
     }
   }
   {
-    std::lock_guard lk(ownerMu_);
+    jrsync::MutexLock lk(ownerMu_);
     std::erase_if(netOwner_,
                   [&](const auto& kv) { return kv.second == id; });
   }
@@ -200,7 +204,7 @@ void RoutingService::closeSession(Session& session, bool unrouteOwned) {
 }
 
 std::vector<NodeId> RoutingService::netsOf(uint64_t sessionId) const {
-  std::lock_guard lk(ownerMu_);
+  jrsync::MutexLock lk(ownerMu_);
   std::vector<NodeId> out;
   for (const auto& [src, owner] : netOwner_) {
     if (owner == sessionId) out.push_back(src);
@@ -209,7 +213,7 @@ std::vector<NodeId> RoutingService::netsOf(uint64_t sessionId) const {
 }
 
 void RoutingService::registerNet(NodeId source, uint64_t sessionId) {
-  std::lock_guard lk(ownerMu_);
+  jrsync::MutexLock lk(ownerMu_);
   netOwner_[source] = sessionId;
 }
 
@@ -246,7 +250,7 @@ std::future<RouteResult> RoutingService::submit(
 
 void RoutingService::withRouter(
     const std::function<void(jroute::Router&)>& fn) {
-  std::lock_guard lk(fabricMu_);
+  jrsync::MutexLock lk(fabricMu_);
   fn(router_);
 }
 
@@ -261,7 +265,7 @@ void RoutingService::engineLoop() {
       if (queue_.closed() && queue_.size() == 0) return;
       continue;
     }
-    std::lock_guard lk(fabricMu_);
+    jrsync::MutexLock lk(fabricMu_);
     processBatch(batch);
   }
 }
@@ -270,7 +274,7 @@ size_t RoutingService::pumpOnce() {
   std::vector<Request> batch;
   queue_.drain(batch, opts_.batchSize, std::chrono::milliseconds(0));
   if (batch.empty()) return 0;
-  std::lock_guard lk(fabricMu_);
+  jrsync::MutexLock lk(fabricMu_);
   processBatch(batch);
   return batch.size();
 }
@@ -357,7 +361,7 @@ std::optional<RouteResult> RoutingService::precheckRoute(const Request& req,
     if (fabric_->isUsed(n)) {
       // Extending an existing net requires owning it.
       const NodeId netSrc = fabric_->netSource(fabric_->netOf(n));
-      std::lock_guard lk(ownerMu_);
+      jrsync::MutexLock lk(ownerMu_);
       const auto it = netOwner_.find(netSrc);
       if (it == netOwner_.end() || it->second != req.sessionId) {
         return rejected(Reject::kNotOwner,
@@ -423,7 +427,7 @@ void RoutingService::processBatch(std::vector<Request>& reqs) {
     const size_t numWorkers = workers_.size();
     if (numWorkers > 0) {
       {
-        std::lock_guard lk(workMu_);
+        jrsync::MutexLock lk(workMu_);
         phase_ = &phase;
         ++workGen_;
       }
@@ -431,8 +435,8 @@ void RoutingService::processBatch(std::vector<Request>& reqs) {
     }
     runJobs(phase, *enginePlanner_);
     if (numWorkers > 0) {
-      std::unique_lock lk(workMu_);
-      doneCv_.wait(lk, [&] {
+      jrsync::MutexLock lk(workMu_);
+      doneCv_.wait(workMu_, [&]() JR_REQUIRES(workMu_) {
         return phase.workersDone.load(std::memory_order_acquire) ==
                numWorkers;
       });
@@ -494,15 +498,17 @@ void RoutingService::workerLoop() {
   while (true) {
     PlanPhase* phase = nullptr;
     {
-      std::unique_lock lk(workMu_);
-      workCv_.wait(lk, [&] { return shutdownWorkers_ || workGen_ != seen; });
+      jrsync::MutexLock lk(workMu_);
+      workCv_.wait(workMu_, [&]() JR_REQUIRES(workMu_) {
+        return shutdownWorkers_ || workGen_ != seen;
+      });
       if (shutdownWorkers_) return;
       seen = workGen_;
       phase = phase_;
     }
     if (phase != nullptr) runJobs(*phase, planner);
     {
-      std::lock_guard lk(workMu_);
+      jrsync::MutexLock lk(workMu_);
       if (phase != nullptr) {
         phase->workersDone.fetch_add(1, std::memory_order_release);
       }
@@ -659,7 +665,7 @@ RouteResult RoutingService::executeUnroute(Request& req) {
   const NetId net = fabric_->netOf(n);
   const NodeId netSrc = fabric_->netSource(net);
   {
-    std::lock_guard lk(ownerMu_);
+    jrsync::MutexLock lk(ownerMu_);
     const auto it = netOwner_.find(netSrc);
     if (it == netOwner_.end() || it->second != req.sessionId) {
       return rejected(Reject::kNotOwner,
@@ -669,7 +675,7 @@ RouteResult RoutingService::executeUnroute(Request& req) {
   }
   unrouteNode(netSrc);
   {
-    std::lock_guard lk(ownerMu_);
+    jrsync::MutexLock lk(ownerMu_);
     netOwner_.erase(netSrc);
   }
   stats_.serialRouted.fetch_add(1);
@@ -743,7 +749,7 @@ jrdrc::DrcInput RoutingService::drcInput(
   in.claimOwner = [this](NodeId n) { return claims_.ownerOf(n); };
   in.checkBitstream = includeBitstream;
   {
-    std::lock_guard lk(ownerMu_);
+    jrsync::MutexLock lk(ownerMu_);
     ownersStorage.assign(netOwner_.begin(), netOwner_.end());
   }
   in.netOwners = &ownersStorage;
@@ -751,7 +757,7 @@ jrdrc::DrcInput RoutingService::drcInput(
 }
 
 jrdrc::DrcReport RoutingService::runDrc(bool includeBitstream) {
-  std::lock_guard lk(fabricMu_);
+  jrsync::MutexLock lk(fabricMu_);
   std::vector<std::pair<NodeId, uint64_t>> owners;
   return jrdrc::runDrc(drcInput(includeBitstream, owners));
 }
@@ -759,8 +765,30 @@ jrdrc::DrcReport RoutingService::runDrc(bool includeBitstream) {
 jrobs::MetricsSnapshot RoutingService::snapshotMetrics() const {
   metrics().queueDepth.set(static_cast<int64_t>(queue_.size()));
   if (jrobs::compiledIn()) {
-    std::lock_guard lk(fabricMu_);
-    publishCongestionGauges();
+    {
+      jrsync::MutexLock lk(fabricMu_);
+      publishCongestionGauges();
+    }
+    // Concurrency-checker health: mostly zeros when disarmed, the live
+    // acquisition/edge/finding counts when JROUTE_LOCKCHECK armed it.
+    jrcheck::Checker& chk = jrcheck::activeChecker();
+    const jrcheck::CheckStats cs = chk.statsSnapshot();
+    jrobs::registry().gauge("service.lockcheck.armed").set(chk.armed() ? 1 : 0);
+    jrobs::registry()
+        .gauge("service.lockcheck.locks")
+        .set(static_cast<int64_t>(cs.locksRegistered));
+    jrobs::registry()
+        .gauge("service.lockcheck.acquires")
+        .set(static_cast<int64_t>(cs.acquires));
+    jrobs::registry()
+        .gauge("service.lockcheck.order_edges")
+        .set(static_cast<int64_t>(cs.orderEdges));
+    jrobs::registry()
+        .gauge("service.lockcheck.findings")
+        .set(static_cast<int64_t>(cs.findings));
+    jrobs::registry()
+        .gauge("service.lockcheck.perturbations")
+        .set(static_cast<int64_t>(cs.perturbations));
   }
   return jrobs::registry().snapshot();
 }
@@ -790,7 +818,7 @@ void RoutingService::publishCongestionGauges() const {
 }
 
 jrobs::Heatmap RoutingService::occupancy(int cellRows, int cellCols) const {
-  std::lock_guard lk(fabricMu_);
+  jrsync::MutexLock lk(fabricMu_);
   return jrdrc::occupancyHeatmap(*fabric_, cellRows, cellCols);
 }
 

@@ -20,7 +20,6 @@
 #include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -28,6 +27,7 @@
 #include <vector>
 
 #include "analysis/drc.h"
+#include "common/sync.h"
 #include "core/router.h"
 #include "obs/heatmap.h"
 #include "obs/metrics.h"
@@ -163,22 +163,25 @@ class RoutingService {
   void engineLoop();
   void workerLoop();
   void runJobs(PlanPhase& phase, Planner& planner);
-  void processBatch(std::vector<Request>& reqs);
+  void processBatch(std::vector<Request>& reqs) JR_REQUIRES(fabricMu_);
   /// Resolve + ownership/validity precheck shared by both phases. Returns
   /// a rejection, or nullopt with the request's bounding box in `box`.
-  std::optional<RouteResult> precheckRoute(const Request& req, Box& box);
+  std::optional<RouteResult> precheckRoute(const Request& req, Box& box)
+      JR_REQUIRES(fabricMu_);
   /// Commit a found plan. False = fall back to the serialized path.
-  bool commitPlan(Request& req, PlanJob& job, RouteResult& out);
-  RouteResult executeSerial(Request& req);
-  RouteResult executeUnroute(Request& req);
+  bool commitPlan(Request& req, PlanJob& job, RouteResult& out)
+      JR_REQUIRES(fabricMu_);
+  RouteResult executeSerial(Request& req) JR_REQUIRES(fabricMu_);
+  RouteResult executeUnroute(Request& req) JR_REQUIRES(fabricMu_);
   /// DrcInput over the full service state; caller must hold fabricMu_ (or
   /// otherwise exclude the engine). The ownership snapshot is written into
   /// `ownersStorage`, which must outlive the returned input.
   jrdrc::DrcInput drcInput(
       bool includeBitstream,
-      std::vector<std::pair<NodeId, uint64_t>>& ownersStorage) const;
+      std::vector<std::pair<NodeId, uint64_t>>& ownersStorage) const
+      JR_REQUIRES(fabricMu_);
   /// Free the whole net driven from `source` (must be a net source node).
-  void unrouteNode(NodeId source);
+  void unrouteNode(NodeId source) JR_REQUIRES(fabricMu_);
   void registerNet(NodeId source, uint64_t sessionId);
   void finish(Request& req, RouteResult res);
   /// Record provenance for every net the request just committed.
@@ -189,10 +192,11 @@ class RoutingService {
                         const std::vector<size_t>& pipsPerNet,
                         uint64_t templateHits, uint64_t shapeReuseHits,
                         uint64_t mazeRuns, uint64_t visits,
-                        uint64_t claimRetries, const char* selector);
+                        uint64_t claimRetries, const char* selector)
+      JR_REQUIRES(fabricMu_);
   /// Refresh fabric.region.* / service.claim.region.* gauges. Caller
   /// must hold fabricMu_.
-  void publishCongestionGauges() const;
+  void publishCongestionGauges() const JR_REQUIRES(fabricMu_);
 
   xcvsim::Fabric* fabric_;
   ServiceOptions opts_;
@@ -200,24 +204,29 @@ class RoutingService {
   ClaimMap claims_;
   BoundedQueue<Request> queue_;
 
+  // Lock hierarchy (outermost first; DESIGN.md §15, enforced at run time
+  // by jrcheck when armed):
+  //   service.fabric -> { service.work, service.owner, service.queue,
+  //                       obs.* }
+  //   service.work, service.owner: leaves (take nothing underneath).
   // Serializes fabric mutation and exclusive access (withRouter) against
   // batch processing. Mutable: const introspection (snapshotMetrics,
   // occupancy) must exclude the engine too.
-  mutable std::mutex fabricMu_;
+  mutable jrsync::Mutex fabricMu_{"service.fabric"};
 
   // Net ownership registry: net source node -> owning session.
-  mutable std::mutex ownerMu_;
-  std::unordered_map<NodeId, uint64_t> netOwner_;
+  mutable jrsync::Mutex ownerMu_{"service.owner"};
+  std::unordered_map<NodeId, uint64_t> netOwner_ JR_GUARDED_BY(ownerMu_);
 
   // Parallel planning pool. The engine participates, so `workers_` holds
   // planThreads - 1 threads.
   std::vector<std::thread> workers_;
   std::unique_ptr<Planner> enginePlanner_;
-  std::mutex workMu_;
-  std::condition_variable workCv_, doneCv_;
-  uint64_t workGen_ = 0;         // guarded by workMu_
-  PlanPhase* phase_ = nullptr;   // guarded by workMu_
-  bool shutdownWorkers_ = false; // guarded by workMu_
+  jrsync::Mutex workMu_{"service.work"};
+  std::condition_variable_any workCv_, doneCv_;
+  uint64_t workGen_ JR_GUARDED_BY(workMu_) = 0;
+  PlanPhase* phase_ JR_GUARDED_BY(workMu_) = nullptr;
+  bool shutdownWorkers_ JR_GUARDED_BY(workMu_) = false;
 
   std::thread engine_;
   std::atomic<uint64_t> nextRequestId_{1};
