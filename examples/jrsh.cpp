@@ -28,6 +28,8 @@
 #include "obs/heatmap.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
+#include "obs/slo.h"
+#include "obs/spans.h"
 #include "obs/trace.h"
 #include "rtr/boardscope.h"
 #include "rtr/netlist.h"
@@ -130,12 +132,15 @@ bool cmdStats(Session& s, std::istringstream& ls) {
     // trace events, provenance records, flight-recorder events, and the
     // claim-conflict heatmap, so everything observed afterwards belongs
     // to the next run. The tracer's enabled flag and the flight
-    // recorder's arming are left alone.
+    // recorder's arming are left alone, and the SLO objective stays
+    // installed (only its windows and totals restart).
     jrobs::registry().reset();
     jrobs::Tracer::instance().clear();
     jrobs::provenance().clear();
     jrobs::flightRecorder().clear();
     jrobs::claimConflictGrid().reset();
+    jrobs::spanAggregator().reset();
+    jrobs::sloMonitor().reset();
     std::cout << "stats reset\n";
     return true;
   }
@@ -145,6 +150,55 @@ bool cmdStats(Session& s, std::istringstream& ls) {
     std::cout << snap.json() << "\n";
   } else {
     std::cout << snap.text();
+  }
+  return true;
+}
+
+bool cmdSpans(Session&, std::istringstream& ls) {
+  std::string fmt;
+  ls >> fmt;
+  const jrobs::SpanAttribution attr = jrobs::spanAggregator().report();
+  if (fmt == "json") {
+    std::cout << attr.json() << "\n";
+  } else {
+    std::cout << attr.text();
+  }
+  return true;
+}
+
+bool cmdSlo(Session&, std::istringstream& ls) {
+  std::string arg;
+  ls >> arg;
+  if (arg == "set") {
+    std::string spec;
+    if (!(ls >> spec)) {
+      throw ArgumentError("slo set latency_us=<N>[,target=<F>][,burn=<F>]");
+    }
+    jrobs::SloConfig cfg;
+    std::string err;
+    if (!jrobs::SloConfig::parse(spec, &cfg, &err)) {
+      throw ArgumentError("slo set: " + err);
+    }
+    cfg.enabled = true;
+    jrobs::sloMonitor().configure(cfg);
+    std::cout << "slo " << cfg.describe() << "\n";
+    return true;
+  }
+  if (arg == "off") {
+    jrobs::sloMonitor().configure(jrobs::SloConfig{});
+    std::cout << "slo disabled\n";
+    return true;
+  }
+  if (arg == "reset") {
+    jrobs::sloMonitor().reset();
+    std::cout << "slo reset\n";
+    return true;
+  }
+  const jrobs::SloReport rep = jrobs::sloMonitor().report();
+  if (arg == "json") {
+    std::cout << rep.json() << "\n";
+  } else {
+    std::cout << rep.text();
   }
   return true;
 }
@@ -538,7 +592,11 @@ std::span<const Command> commandTable() {
        "run-time lock-order checker: report, or arm it here", false,
        cmdLockcheck},
       {"stats", "[json|reset]", "telemetry registry snapshot; reset also "
-       "clears rings and heatmaps", false, cmdStats},
+       "clears rings, heatmaps, spans, and SLO windows", false, cmdStats},
+      {"spans", "[json]", "request-lifecycle span attribution: where the "
+       "milliseconds went", false, cmdSpans},
+      {"slo", "[json|set <k=v,..>|off|reset]", "latency SLO burn-rate "
+       "monitor: report or (re)configure the objective", false, cmdSlo},
       {"why", "<r> <c> <wire> [json]", "provenance of the net holding a "
        "wire: who routed it, how", true, cmdWhy},
       {"explain", "last [json]", "provenance of the newest commit",

@@ -31,4 +31,19 @@ JROUTE_LOCKCHECK=1 \
 "$BUILD/bench/bench_e6_greedy_vs_pathfinder"
 "$BUILD/bench/bench_e18_lookahead"
 
+# jrload mixed-workload records, paired with adaptive batch linger off
+# and on: the span_batch_linger_share / hist_p99_us fields across the
+# two records are the measured evidence for the latency-vs-batching
+# trade (EXPERIMENTS.md E19).
+if [[ -x "$BUILD/examples/jrload" ]]; then
+  "$BUILD/examples/jrload" --device "${JRLOAD_DEVICE:-XCV300}" \
+    --sessions 50 --requests "${JRLOAD_REQUESTS:-20000}" \
+    --slo "latency_us=5000,target=0.999,burn=8"
+  "$BUILD/examples/jrload" --device "${JRLOAD_DEVICE:-XCV300}" \
+    --sessions 50 --requests "${JRLOAD_REQUESTS:-20000}" --linger-us 300 \
+    --slo "latency_us=5000,target=0.999,burn=8"
+else
+  echo "bench_record: $BUILD/examples/jrload not built; skipping jrload records"
+fi
+
 echo "done: $(wc -l < "$JROUTE_BENCH_RECORD") record(s) in BENCH_service.json"

@@ -59,6 +59,25 @@ JROUTE_BENCH_JSONL="$PWD/BENCH_service.json" \
   ctest --test-dir build --output-on-failure -R 'ObsBenchRecord'
 
 echo
+echo "== tier 1: jrload mixed-workload smoke + SLO record =="
+# A malformed --slo spec must fail fast with a parse error (exit 2), not
+# silently measure against a default objective.
+if build/examples/jrload --slo "bogus" >/dev/null 2>&1; then
+  echo "jrload: malformed --slo spec did not fail" >&2
+  exit 1
+fi
+# 10^5 mixed requests (p2p / fanout / bus / unroute / reconnect) across
+# 100 concurrent sessions on the XCV1000, with a live SLO objective; the
+# SLO-tagged p50/p99 record appends to BENCH_service.json and the JSONL
+# validator then re-reads the whole file including it.
+JROUTE_BENCH_RECORD="$PWD/BENCH_service.json" \
+  build/examples/jrload --device XCV1000 --sessions 100 \
+  --requests "${JRLOAD_REQUESTS:-100000}" \
+  --slo "latency_us=5000,target=0.999,burn=8"
+JROUTE_BENCH_JSONL="$PWD/BENCH_service.json" \
+  ctest --test-dir build --output-on-failure -R 'ObsBenchRecord'
+
+echo
 echo "== tier 1: anomaly flight-recorder smoke =="
 # One synthetic contention through jrsh must dump a self-contained JSON
 # bundle (scripts/anomaly_smoke.jr documents the scenario). The gtest

@@ -1,0 +1,165 @@
+// Request-lifecycle spans: where did my milliseconds go?
+//
+// Counters say how many requests the service resolved; the latency
+// histogram says how long they took end to end. Neither answers the
+// question that steers the engine's tuning knobs: of those milliseconds,
+// how many were queue wait vs batch linger vs planning vs claim
+// arbitration vs commit? Every Request carries a RequestSpan — seven
+// fixed timestamp slots stamped as the request crosses each engine
+// stage — and when the request resolves, the engine folds the span into
+// a per-thread aggregator: per-segment sums, log-bucket registry
+// histograms (service.span.*), and a small ring of recent per-request
+// records. Stamping is one steady-clock read into a plain array slot;
+// folding is relaxed atomics plus a single-writer ring publish — the
+// same release/acquire protocol as the tracer and flight recorder — so
+// the hot path never takes a lock (the "obs.spans" mutex guards only
+// per-thread registration and report-time merges).
+//
+// The attribution report (jrsh `spans [json]`) telescopes exactly: the
+// six segments of one request sum to its reply-minus-enqueue latency by
+// construction (missing or reordered stamps clamp to zero-length
+// segments, never negative ones). Recent records feed the flight
+// recorder's SLO-breach bundles (obs/slo.h) so a burn-rate page carries
+// the worst offenders' per-segment breakdown.
+//
+// With JROUTE_NO_TELEMETRY the span is an empty struct, stamp() is a
+// no-op, and the aggregator reports zeros; call sites never #ifdef.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef JROUTE_NO_TELEMETRY
+#include <chrono>
+#endif
+
+namespace jrobs {
+
+/// The stamped points of a request's life, in engine order. Each
+/// adjacent pair bounds one attribution segment (spanSegmentName).
+enum class SpanStage : uint8_t {
+  kEnqueue = 0,     // RoutingService::submit pushed the request
+  kBatchClose,      // the engine drained it out of the MPSC queue
+  kPlanStart,       // a planner (parallel or serialized) picked it up
+  kPlanEnd,         // the plan/search finished
+  kArbitration,     // the commit loop reached it (claims arbitrated)
+  kCommit,          // its transaction committed or rolled back
+  kReply,           // finish() resolved the promise
+};
+
+inline constexpr size_t kNumSpanStages = 7;
+inline constexpr size_t kNumSpanSegments = kNumSpanStages - 1;
+
+/// Segment `i` spans stage `i` -> stage `i+1`: queue_wait, batch_linger,
+/// plan, arbitration, commit, reply.
+const char* spanSegmentName(size_t i);
+
+#ifndef JROUTE_NO_TELEMETRY
+
+/// Per-request timestamp record, embedded by value in jrsvc::Request.
+/// Slots are nanoseconds on the steady clock; zero means "never
+/// stamped". Stamping twice overwrites (the serialized retry after a
+/// parallel fallback re-stamps plan/commit with its own, later times).
+struct RequestSpan {
+  std::array<uint64_t, kNumSpanStages> ns{};
+
+  void stamp(SpanStage s) {
+    ns[static_cast<size_t>(s)] = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  uint64_t at(SpanStage s) const { return ns[static_cast<size_t>(s)]; }
+};
+
+#else  // JROUTE_NO_TELEMETRY ------------------------------------------------
+
+struct RequestSpan {
+  void stamp(SpanStage) {}
+  uint64_t at(SpanStage) const { return 0; }
+};
+
+#endif  // JROUTE_NO_TELEMETRY
+
+/// One resolved request's folded span: the telescoped segments (they sum
+/// to e2eUs exactly) plus enough identity to make a breach bundle or a
+/// report line self-explanatory. op/result are string literals
+/// (opName/rejectName), mirroring the tracer's literal-pointer contract.
+struct SpanRecord {
+  uint64_t requestId = 0;
+  uint64_t sessionId = 0;
+  const char* op = "";
+  const char* result = "";
+  bool parallel = false;
+  std::array<uint64_t, kNumSpanSegments> segUs{};
+  uint64_t e2eUs = 0;
+
+  std::string json() const;
+};
+
+/// The "where did my milliseconds go" answer at one point in time.
+struct SpanAttribution {
+  struct Segment {
+    const char* name = "";
+    uint64_t totalUs = 0;
+    double share = 0.0;  // of the summed end-to-end time
+    double p50Us = 0.0, p95Us = 0.0, p99Us = 0.0;
+  };
+  uint64_t requests = 0;
+  uint64_t e2eTotalUs = 0;
+  double e2eP50Us = 0.0, e2eP95Us = 0.0, e2eP99Us = 0.0;
+  std::array<Segment, kNumSpanSegments> segments{};
+
+  /// Aligned table for jrsh `spans`.
+  std::string text() const;
+  /// {"spans":{...}} for jrsh `spans json` and breach bundles.
+  std::string json() const;
+};
+
+/// Process-global span aggregator. fold() is called by the engine once
+/// per resolved request; everything else is report-time.
+class SpanAggregator {
+ public:
+  static SpanAggregator& instance();
+
+  /// Telescope the span into segments, accumulate them into the calling
+  /// thread's aggregate and the service.span.* registry histograms, and
+  /// retain the record in the thread's recent-ring. Returns the folded
+  /// record so the caller can embed it (flight-recorder bundles).
+  SpanRecord fold(const RequestSpan& span, uint64_t requestId,
+                  uint64_t sessionId, const char* op, const char* result,
+                  bool parallel);
+
+  /// Requests folded since start/reset, summed across threads.
+  uint64_t count() const;
+
+  SpanAttribution report() const;
+
+  /// Every record still retained in the per-thread rings (newest last
+  /// per thread; cross-thread order unspecified).
+  std::vector<SpanRecord> recentRecords() const;
+  /// The k retained records with the largest end-to-end latency.
+  std::vector<SpanRecord> recentWorst(size_t k) const;
+
+  /// Zero sums, counts, and rings (jrsh `stats reset`, jrload). The
+  /// service.span.* histograms live in the registry and are reset with
+  /// it. Thread registrations persist.
+  void reset();
+
+  /// Per-thread recent-record ring capacity.
+  static constexpr size_t kRecentCapacity = 256;
+
+ private:
+  SpanAggregator();
+  ~SpanAggregator() = delete;  // process-lifetime singleton
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Shorthand for SpanAggregator::instance().
+SpanAggregator& spanAggregator();
+
+}  // namespace jrobs

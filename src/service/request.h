@@ -17,6 +17,7 @@
 
 #include "common/types.h"
 #include "core/endpoint.h"
+#include "obs/spans.h"
 
 namespace jrsvc {
 
@@ -76,6 +77,9 @@ struct Request {
   /// Stamped by RoutingService::submit; the engine measures
   /// enqueue-to-resolution latency from it (service.request.latency_us).
   Clock::time_point enqueued{};
+  /// Lifecycle stamps (enqueue, batch close, plan, arbitration, commit,
+  /// reply); folded into the span aggregator when the request resolves.
+  jrobs::RequestSpan span;
   std::promise<RouteResult> promise;
 
   bool hasDeadline() const { return deadline != Clock::time_point{}; }

@@ -10,6 +10,8 @@
 #include "fabric/trace.h"
 #include "obs/flightrec.h"
 #include "obs/provenance.h"
+#include "obs/slo.h"
+#include "obs/spans.h"
 #include "obs/trace.h"
 #include "service/txn.h"
 
@@ -99,6 +101,12 @@ struct EngineMetrics {
       jrobs::registry().histogram("service.request.latency_us");
   jrobs::Histogram& batchDrcUs =
       jrobs::registry().histogram("service.batch.drc_us");
+  /// Adaptive batch close: age of the oldest request when its batch
+  /// closed, and how many late arrivals lingering picked up.
+  jrobs::Histogram& batchLingerUs =
+      jrobs::registry().histogram("service.batch.linger_us");
+  jrobs::Counter& lingerAdded =
+      jrobs::registry().counter("service.batch.linger_added");
 };
 
 EngineMetrics& metrics() {
@@ -230,6 +238,7 @@ std::future<RouteResult> RoutingService::submit(
   req.sinks = std::move(sinks);
   req.deadline = deadline;
   req.enqueued = Clock::now();
+  req.span.stamp(jrobs::SpanStage::kEnqueue);
   std::future<RouteResult> fut = req.promise.get_future();
   stats_.submitted.fetch_add(1);
   if (!queue_.tryPush(std::move(req))) {
@@ -265,6 +274,28 @@ void RoutingService::engineLoop() {
       if (queue_.closed() && queue_.size() == 0) return;
       continue;
     }
+    for (Request& req : batch) {
+      req.span.stamp(jrobs::SpanStage::kBatchClose);
+    }
+    if (opts_.batchLingerUs > 0 && batch.size() < opts_.batchSize) {
+      // Adaptive close: hold the batch open for late arrivals until the
+      // oldest request has aged batchLingerUs since enqueue. The bound
+      // is on the *request's* age, not the linger itself, so a request
+      // that already waited in the queue gets proportionally less.
+      const size_t before = batch.size();
+      queue_.drainUntil(
+          batch, opts_.batchSize,
+          batch.front().enqueued +
+              std::chrono::microseconds(opts_.batchLingerUs));
+      for (size_t i = before; i < batch.size(); ++i) {
+        batch[i].span.stamp(jrobs::SpanStage::kBatchClose);
+      }
+      metrics().lingerAdded.add(batch.size() - before);
+    }
+    metrics().batchLingerUs.record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - batch.front().enqueued)
+            .count()));
     jrsync::MutexLock lk(fabricMu_);
     processBatch(batch);
   }
@@ -274,6 +305,9 @@ size_t RoutingService::pumpOnce() {
   std::vector<Request> batch;
   queue_.drain(batch, opts_.batchSize, std::chrono::milliseconds(0));
   if (batch.empty()) return 0;
+  for (Request& req : batch) {
+    req.span.stamp(jrobs::SpanStage::kBatchClose);
+  }
   jrsync::MutexLock lk(fabricMu_);
   processBatch(batch);
   return batch.size();
@@ -281,6 +315,15 @@ size_t RoutingService::pumpOnce() {
 
 void RoutingService::finish(Request& req, RouteResult res) {
   EngineMetrics& m = metrics();
+  // Fold the lifecycle span first: the record rides along in any
+  // anomaly bundle this resolution fires, and the SLO monitor judges
+  // the request by the span's end-to-end time (identical by
+  // construction to the sum of its segments).
+  req.span.stamp(jrobs::SpanStage::kReply);
+  const jrobs::SpanRecord srec = jrobs::spanAggregator().fold(
+      req.span, req.id, req.sessionId, opName(req.op),
+      res.ok() ? "accepted" : rejectName(res.reason), res.routedInParallel);
+  jrobs::sloMonitor().observe(srec.e2eUs, res.ok());
   if (res.ok()) {
     stats_.accepted.fetch_add(1);
     m.accepted.add();
@@ -324,6 +367,7 @@ void RoutingService::finish(Request& req, RouteResult res) {
               fabric_->netSource(fabric_->netOf(res.contendedNode)));
         }
         extra += holder ? holder->json() : "null";
+        extra += ",\"span\":" + srec.json();
         extra += "}";
       }
       fr.anomaly(kind, res.detail, extra);
@@ -448,6 +492,7 @@ void RoutingService::processBatch(std::vector<Request>& reqs) {
     for (PlanJob& job : jobs) {
       stats_.claimRetries.fetch_add(job.plan.retries);
       metrics().claimRetries.add(job.plan.retries);
+      job.req->span.stamp(jrobs::SpanStage::kArbitration);
       if (job.plan.found) {
         RouteResult res;
         if (commitPlan(*job.req, job, res)) {
@@ -522,7 +567,12 @@ void RoutingService::runJobs(PlanPhase& phase, Planner& planner) {
     const size_t i = phase.next.fetch_add(1);
     if (i >= phase.jobs->size()) return;
     PlanJob& job = (*phase.jobs)[i];
+    // The planning thread owns this request's span until the engine
+    // observes workersDone (release/acquire), so the cross-thread
+    // stamps are ordered like the plan itself.
+    job.req->span.stamp(jrobs::SpanStage::kPlanStart);
     job.plan = planner.plan(job.owner, *job.req);
+    job.req->span.stamp(jrobs::SpanStage::kPlanEnd);
   }
 }
 
@@ -550,6 +600,7 @@ bool RoutingService::commitPlan(Request& req, PlanJob& job,
       if (firstSrc == kInvalidNode) firstSrc = pn.srcNode;
     }
     txn.commit();
+    req.span.stamp(jrobs::SpanStage::kCommit);
     for (const NodeId src : newlyOwned) registerNet(src, req.sessionId);
     recordProvenance(req, /*parallel=*/true, netSources, pipsPerNet,
                      job.plan.templateHits, job.plan.shapeReuseHits,
@@ -577,6 +628,11 @@ RouteResult RoutingService::executeSerial(Request& req) {
     return rejected(Reject::kDeadlineExpired, "expired before execution");
   }
   if (req.op == Op::kUnroute) return executeUnroute(req);
+
+  // Serialized execution re-stamps plan/arbitration/commit: after a
+  // parallel fallback these overwrite the abandoned attempt's stamps,
+  // so the span attributes the time the authoritative path spent.
+  req.span.stamp(jrobs::SpanStage::kPlanStart);
 
   // The fabric may have changed since the batch was classified; re-check.
   Box box;
@@ -614,7 +670,10 @@ RouteResult RoutingService::executeSerial(Request& req) {
       pipsPerNet.push_back(
           fabric_->isUsed(src) ? txn.stagedPipsFor(fabric_->netOf(src)) : 0);
     }
+    req.span.stamp(jrobs::SpanStage::kPlanEnd);
+    req.span.stamp(jrobs::SpanStage::kArbitration);
     txn.commit();
+    req.span.stamp(jrobs::SpanStage::kCommit);
     for (const NodeId src : newlyOwned) registerNet(src, req.sessionId);
     const jroute::RouteStats after = router_.stats();
     recordProvenance(req, /*parallel=*/false, srcNodes, pipsPerNet,
@@ -674,6 +733,7 @@ RouteResult RoutingService::executeUnroute(Request& req) {
     }
   }
   unrouteNode(netSrc);
+  req.span.stamp(jrobs::SpanStage::kCommit);
   {
     jrsync::MutexLock lk(ownerMu_);
     netOwner_.erase(netSrc);
@@ -789,6 +849,31 @@ jrobs::MetricsSnapshot RoutingService::snapshotMetrics() const {
     jrobs::registry()
         .gauge("service.lockcheck.perturbations")
         .set(static_cast<int64_t>(cs.perturbations));
+    // SLO state as gauges, so one `stats` snapshot carries objective,
+    // rolling burn rates (x1000 — gauges are integers), and breaches.
+    const jrobs::SloReport slo = jrobs::sloMonitor().report();
+    jrobs::registry().gauge("service.slo.enabled").set(slo.config.enabled);
+    jrobs::registry()
+        .gauge("service.slo.latency_objective_us")
+        .set(static_cast<int64_t>(slo.config.latencyUs));
+    jrobs::registry()
+        .gauge("service.slo.target_ppm")
+        .set(static_cast<int64_t>(slo.config.target * 1e6));
+    jrobs::registry()
+        .gauge("service.slo.observed")
+        .set(static_cast<int64_t>(slo.observed));
+    jrobs::registry()
+        .gauge("service.slo.good")
+        .set(static_cast<int64_t>(slo.good));
+    jrobs::registry()
+        .gauge("service.slo.breaches")
+        .set(static_cast<int64_t>(slo.breaches));
+    for (const jrobs::SloWindow& w : slo.windows) {
+      jrobs::registry()
+          .gauge("service.slo.burn_" + std::to_string(w.seconds) +
+                 "s_milli")
+          .set(static_cast<int64_t>(w.burn * 1000.0));
+    }
   }
   return jrobs::registry().snapshot();
 }

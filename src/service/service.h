@@ -56,6 +56,14 @@ struct ServiceOptions {
   bool manualPump = false;
   /// How long an idle engine waits for the first request of a batch.
   std::chrono::milliseconds drainWait{100};
+  /// Adaptive batch close: after the first drain of a batch, keep the
+  /// batch open for late arrivals until the *oldest* request's span age
+  /// (now - enqueue) reaches this bound or the batch fills. 0 closes
+  /// immediately (the pre-linger behavior). Lingering trades a bounded
+  /// per-request latency increase for fuller batches and a better
+  /// parallel-planning ratio; service.batch.linger_us records what each
+  /// batch actually paid.
+  uint64_t batchLingerUs = 0;
   /// Run the full static DRC (src/analysis) after every processed batch —
   /// the quiescent point where all txns have committed or rolled back and
   /// every planning claim must be released — and throw JRouteError on any

@@ -1,0 +1,205 @@
+#include "workload/session_stream.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "arch/patterns.h"
+#include "arch/wires.h"
+#include "common/error.h"
+
+namespace workload {
+
+using xcvsim::clbIn;
+using xcvsim::isClockPin;
+using xcvsim::kClbInputs;
+using xcvsim::kSliceOutputs;
+using xcvsim::LocalWire;
+using xcvsim::nonClockPin;
+using xcvsim::RowCol;
+using xcvsim::sliceOut;
+
+const char* streamOpName(StreamOp op) {
+  switch (op) {
+    case StreamOp::kP2P: return "p2p";
+    case StreamOp::kFanout: return "fanout";
+    case StreamOp::kBus: return "bus";
+    case StreamOp::kUnroute: return "unroute";
+    case StreamOp::kReconnect: return "reconnect";
+  }
+  return "?";
+}
+
+namespace {
+
+uint64_t pinKey(const Pin& p) {
+  return (static_cast<uint64_t>(static_cast<uint16_t>(p.rc.row)) << 32) |
+         (static_cast<uint64_t>(static_cast<uint16_t>(p.rc.col)) << 16) |
+         p.wire;
+}
+
+/// Random slice-output pin at `rc` not yet claimed by any slot.
+Pin pickSourceAt(RowCol rc, Rng& rng, std::unordered_set<uint64_t>& used) {
+  for (int attempt = 0; attempt < kSliceOutputs * 4; ++attempt) {
+    const Pin p(rc, sliceOut(rng.intIn(0, kSliceOutputs - 1)));
+    if (used.insert(pinKey(p)).second) return p;
+  }
+  return Pin(rc, xcvsim::kInvalidLocalWire);  // tile's outputs exhausted
+}
+
+/// Random non-clock CLB input at `rc` not yet claimed.
+Pin pickSinkAt(RowCol rc, Rng& rng, std::unordered_set<uint64_t>& used) {
+  for (int attempt = 0; attempt < kClbInputs * 4; ++attempt) {
+    const LocalWire w = clbIn(rng.intIn(0, kClbInputs - 1));
+    if (isClockPin(w)) continue;
+    const Pin p(rc, w);
+    if (used.insert(pinKey(p)).second) return p;
+  }
+  return Pin(rc, xcvsim::kInvalidLocalWire);
+}
+
+}  // namespace
+
+SessionStream::SessionStream(const DeviceSpec& dev,
+                             SessionStreamOptions opts)
+    : opts_(opts), rng_(opts.seed) {
+  const int radius = opts_.radius;
+  if (dev.rows <= 2 * radius + 1 || dev.cols <= 2 * radius + 1) {
+    throw xcvsim::ArgumentError(
+        "session stream: device too small for the slot radius");
+  }
+  // All slots across all sessions share one pin-exclusion set, so the
+  // stream never scripts two nets onto the same pin (generators.h
+  // documents why per-call seeds would make the workload unroutable).
+  std::unordered_set<uint64_t> used;
+  sessions_.resize(static_cast<size_t>(opts_.sessions));
+  for (int s = 0; s < opts_.sessions; ++s) {
+    auto& slots = sessions_[static_cast<size_t>(s)];
+    slots.resize(static_cast<size_t>(opts_.slotsPerSession));
+    for (int i = 0; i < opts_.slotsPerSession; ++i) {
+      Slot& slot = slots[static_cast<size_t>(i)];
+      // Mix: every session is mostly p2p with a fanout every third
+      // slot; every fourth session trades its first slot for a bus.
+      slot.kind = (s % 4 == 0 && i == 0) ? StreamOp::kBus
+                  : (i % 3 == 2)         ? StreamOp::kFanout
+                                         : StreamOp::kP2P;
+      for (int attempt = 0;; ++attempt) {
+        if (attempt >= 1000) {
+          throw xcvsim::JRouteError(
+              "session stream: device exhausted placing slots");
+        }
+        if (slot.kind == StreamOp::kBus) {
+          // A short strip, makeBus-style: bit b drives slice output b
+          // at (row, colA) into the matching non-clock input at colB.
+          const int row = rng_.intIn(radius, dev.rows - 1 - radius);
+          const int colA = rng_.intIn(radius, dev.cols - 1 - radius - 2);
+          const int colB = colA + rng_.intIn(2, radius);
+          std::vector<Pin> srcs, sinks;
+          bool ok = true;
+          for (int b = 0; b < opts_.busWidth && ok; ++b) {
+            srcs.emplace_back(row, colA, sliceOut(b % kSliceOutputs));
+            sinks.emplace_back(row, colB,
+                               clbIn(nonClockPin(b % kSliceOutputs)));
+            ok = used.count(pinKey(srcs.back())) == 0 &&
+                 used.count(pinKey(sinks.back())) == 0;
+          }
+          if (!ok) continue;
+          for (const Pin& p : srcs) used.insert(pinKey(p));
+          for (const Pin& p : sinks) used.insert(pinKey(p));
+          slot.srcs = std::move(srcs);
+          slot.sinks = std::move(sinks);
+          break;
+        }
+        const RowCol src{
+            static_cast<int16_t>(rng_.intIn(radius, dev.rows - 1 - radius)),
+            static_cast<int16_t>(rng_.intIn(radius, dev.cols - 1 - radius))};
+        const Pin srcPin = pickSourceAt(src, rng_, used);
+        if (srcPin.wire == xcvsim::kInvalidLocalWire) continue;
+        // p2p slots get two candidate sinks so reconnect events have an
+        // alternate port; fanout slots get their full sink set.
+        const int nSinks =
+            slot.kind == StreamOp::kFanout ? opts_.fanout : 2;
+        std::vector<Pin> sinks;
+        int guard = 0;
+        while (static_cast<int>(sinks.size()) < nSinks &&
+               ++guard < nSinks * 200) {
+          const int r = src.row + rng_.intIn(-radius, radius);
+          const int c = src.col + rng_.intIn(-radius, radius);
+          if (r == src.row && c == src.col) continue;
+          const Pin sink = pickSinkAt(
+              {static_cast<int16_t>(r), static_cast<int16_t>(c)}, rng_,
+              used);
+          if (sink.wire != xcvsim::kInvalidLocalWire) sinks.push_back(sink);
+        }
+        if (static_cast<int>(sinks.size()) < nSinks) {
+          used.erase(pinKey(srcPin));
+          for (const Pin& p : sinks) used.erase(pinKey(p));
+          continue;
+        }
+        slot.srcs = {srcPin};
+        slot.sinks = std::move(sinks);
+        break;
+      }
+    }
+  }
+}
+
+StreamEvent SessionStream::next() {
+  const uint32_t sess =
+      static_cast<uint32_t>(produced_ % sessions_.size());
+  auto& slots = sessions_[sess];
+  const uint32_t si = static_cast<uint32_t>(rng_.below(slots.size()));
+  Slot& slot = slots[si];
+
+  StreamEvent ev;
+  ev.session = sess;
+  ev.slot = si;
+  if (!slot.routed) {
+    ev.op = slot.kind;
+    ev.srcs = slot.srcs;
+    ev.sinks = slot.kind == StreamOp::kP2P
+                   ? std::vector<Pin>{slot.sinks[slot.sinkSel]}
+                   : slot.sinks;
+    slot.routed = true;
+  } else if (slot.kind == StreamOp::kP2P && rng_.chance(0.4)) {
+    // Port reconnect: same source, the other candidate sink. The driver
+    // replays this as unroute-then-route, ordered per slot.
+    slot.sinkSel ^= 1u;
+    ev.op = StreamOp::kReconnect;
+    ev.srcs = slot.srcs;
+    ev.sinks = {slot.sinks[slot.sinkSel]};
+  } else {
+    ev.op = StreamOp::kUnroute;
+    ev.srcs = slot.srcs;  // every net source of the slot (bus: one per bit)
+    slot.routed = false;
+  }
+  ++produced_;
+  return ev;
+}
+
+std::vector<StreamEvent> SessionStream::take(size_t n) {
+  std::vector<StreamEvent> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+std::string SessionStream::describe(const StreamEvent& e) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "s%u/%u %s", e.session, e.slot,
+                streamOpName(e.op));
+  std::string out = buf;
+  auto pin = [&](const Pin& p) {
+    std::snprintf(buf, sizeof buf, "(%d,%d,w%u)", p.rc.row, p.rc.col,
+                  static_cast<unsigned>(p.wire));
+    out += buf;
+  };
+  out += " ";
+  for (const Pin& p : e.srcs) pin(p);
+  if (!e.sinks.empty()) {
+    out += "->";
+    for (const Pin& p : e.sinks) pin(p);
+  }
+  return out;
+}
+
+}  // namespace workload

@@ -1,0 +1,107 @@
+// Seeded session streams: the on-line request mix jrload replays.
+//
+// The one-shot generators (generators.h) produce a static design; a
+// run-time routing service is driven by *streams* — many concurrent
+// clients routing, reconnecting, and tearing down connections over
+// time, the on-line framing of the dynamic-reconfiguration papers. A
+// SessionStream models `sessions` independent clients, each owning a
+// fixed set of connection slots placed on disjoint pins at
+// construction (one shared exclusion set, like makeMixed, so sessions
+// never fight over a pin — contention, when it happens, is for routing
+// wires, which is the interesting kind). Each slot runs a tiny state
+// machine: unrouted slots get routed (p2p, fanout, or bus, per the
+// slot's kind); routed slots are either torn down (unroute) or, for
+// p2p slots, reconnected to their alternate sink (port reconnect —
+// unroute + route under the same source).
+//
+// The stream is a pure function of (device, options): next() draws only
+// from the stream's own Rng, never the clock, so the full event
+// sequence is byte-identical for a fixed seed (the determinism test
+// hashes describe() over thousands of events). Event order interleaves
+// sessions round-robin; per-session order is what a real client would
+// have issued, so a driver that preserves per-slot ordering replays a
+// semantically consistent workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/device.h"
+#include "common/rng.h"
+#include "core/endpoint.h"
+
+namespace workload {
+
+using jroute::Pin;
+using xcvsim::DeviceSpec;
+using xcvsim::Rng;
+
+enum class StreamOp : uint8_t {
+  kP2P,        // route srcs[0] -> sinks[0]
+  kFanout,     // route srcs[0] -> every sink
+  kBus,        // route srcs[i] -> sinks[i]
+  kUnroute,    // free the net(s) driven from each src
+  kReconnect,  // unroute srcs[0], then route srcs[0] -> sinks[0]
+};
+
+const char* streamOpName(StreamOp op);
+
+/// One scripted request from one session. For kUnroute, `srcs` lists
+/// every net source to free (a bus slot tears down one net per bit).
+struct StreamEvent {
+  uint32_t session = 0;
+  uint32_t slot = 0;
+  StreamOp op = StreamOp::kP2P;
+  std::vector<Pin> srcs;
+  std::vector<Pin> sinks;
+};
+
+struct SessionStreamOptions {
+  int sessions = 100;
+  int slotsPerSession = 6;
+  /// Width of each bus slot (sessions divisible by 4 get one).
+  int busWidth = 2;
+  /// Sinks per fanout slot.
+  int fanout = 3;
+  /// Max tile radius from a slot's source to its sinks; small radii
+  /// keep routes template-friendly and cross-session wire contention
+  /// rare but nonzero.
+  int radius = 4;
+  uint64_t seed = 1;
+};
+
+class SessionStream {
+ public:
+  SessionStream(const DeviceSpec& dev, SessionStreamOptions opts);
+
+  /// The next event of the stream (deterministic; sessions round-robin).
+  StreamEvent next();
+  /// Convenience: the next `n` events.
+  std::vector<StreamEvent> take(size_t n);
+
+  size_t produced() const { return produced_; }
+  int sessions() const { return opts_.sessions; }
+
+  /// Compact stable rendering ("s12/3 fanout (4,5,w17)->[(5,6,w3)...]")
+  /// — the byte-identical determinism test compares these.
+  static std::string describe(const StreamEvent& e);
+
+ private:
+  struct Slot {
+    StreamOp kind = StreamOp::kP2P;  // kP2P, kFanout, or kBus
+    std::vector<Pin> srcs;
+    /// For p2p: two candidate sinks, `sinkSel` picks the live one and
+    /// reconnect flips it. For fanout/bus: the full sink set.
+    std::vector<Pin> sinks;
+    bool routed = false;
+    uint32_t sinkSel = 0;
+  };
+
+  SessionStreamOptions opts_;
+  Rng rng_;
+  std::vector<std::vector<Slot>> sessions_;
+  size_t produced_ = 0;
+};
+
+}  // namespace workload
