@@ -27,6 +27,7 @@
 #include "obs/flightrec.h"
 #include "obs/heatmap.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/provenance.h"
 #include "obs/slo.h"
 #include "obs/spans.h"
@@ -129,11 +130,12 @@ bool cmdStats(Session& s, std::istringstream& ls) {
   ls >> fmt;
   if (fmt == "reset") {
     // Reset scopes a measurement: zero the registry AND drop captured
-    // trace events, provenance records, flight-recorder events, and the
-    // claim-conflict heatmap, so everything observed afterwards belongs
-    // to the next run. The tracer's enabled flag and the flight
-    // recorder's arming are left alone, and the SLO objective stays
-    // installed (only its windows and totals restart).
+    // trace events, provenance records, flight-recorder events, the
+    // claim-conflict heatmap, and the profiler's lock/batch/sampler
+    // accumulators, so everything observed afterwards belongs to the
+    // next run. The tracer's enabled flag, the flight recorder's
+    // arming, and jrprof's arming are left alone, and the SLO objective
+    // stays installed (only its windows and totals restart).
     jrobs::registry().reset();
     jrobs::Tracer::instance().clear();
     jrobs::provenance().clear();
@@ -141,6 +143,7 @@ bool cmdStats(Session& s, std::istringstream& ls) {
     jrobs::claimConflictGrid().reset();
     jrobs::spanAggregator().reset();
     jrobs::sloMonitor().reset();
+    jrprof::resetAll();
     std::cout << "stats reset\n";
     return true;
   }
@@ -191,6 +194,15 @@ bool cmdSlo(Session&, std::istringstream& ls) {
   }
   if (arg == "reset") {
     jrobs::sloMonitor().reset();
+    // The service.slo.* gauges are refreshed by snapshotMetrics; zero
+    // them here too so a `stats` taken before the next snapshot does
+    // not show the pre-reset counts.
+    for (const char* g :
+         {"service.slo.observed", "service.slo.good",
+          "service.slo.breaches", "service.slo.burn_1s_milli",
+          "service.slo.burn_10s_milli", "service.slo.burn_60s_milli"}) {
+      jrobs::registry().gauge(g).set(0);
+    }
     std::cout << "slo reset\n";
     return true;
   }
@@ -433,6 +445,36 @@ bool cmdLockcheck(Session&, std::istringstream& ls) {
   return true;
 }
 
+bool cmdProf(Session&, std::istringstream& ls) {
+  // jrprof (src/obs/prof.h): lock contention, batch critical path, and
+  // stage sampling in one armable profiler. `prof` prints the combined
+  // report, `prof top` just the top lock contenders, `prof json` the
+  // machine form; `arm`/`off` control it from the shell (usually it is
+  // armed from JROUTE_PROF=1 before startup).
+  std::string arg;
+  ls >> arg;
+  if (arg == "arm") {
+    jrprof::arm();
+    std::cout << "prof armed"
+              << (jrobs::compiledIn() ? "\n" : " (telemetry compiled out)\n");
+    return true;
+  }
+  if (arg == "off") {
+    jrprof::disarm();
+    std::cout << "prof disarmed\n";
+    return true;
+  }
+  const jrprof::ProfReport rep = jrprof::report();
+  if (arg == "json") {
+    std::cout << rep.json() << "\n";
+  } else if (arg == "top") {
+    std::cout << rep.topText();
+  } else {
+    std::cout << rep.text();
+  }
+  return true;
+}
+
 bool cmdLookahead(Session& s, std::istringstream& ls) {
   // The per-device routing lookahead (src/lookahead): build cost, table
   // shape, quantization. Resolving it here warms the process-wide cache
@@ -591,8 +633,11 @@ std::span<const Command> commandTable() {
       {"lockcheck", "[json|arm [<seed>]|perturb [<seed>]|off]",
        "run-time lock-order checker: report, or arm it here", false,
        cmdLockcheck},
+      {"prof", "[json|top|arm|off]", "lock-contention & batch profiler: "
+       "report, top contenders, or arm it here", false, cmdProf},
       {"stats", "[json|reset]", "telemetry registry snapshot; reset also "
-       "clears rings, heatmaps, spans, and SLO windows", false, cmdStats},
+       "clears rings, heatmaps, spans, SLO windows, and prof", false,
+       cmdStats},
       {"spans", "[json]", "request-lifecycle span attribution: where the "
        "milliseconds went", false, cmdSpans},
       {"slo", "[json|set <k=v,..>|off|reset]", "latency SLO burn-rate "
@@ -631,6 +676,7 @@ bool handle(Session& s, const std::string& line) {
 
 int main(int argc, char** argv) {
   jrcheck::maybeArmFromEnv();
+  jrprof::maybeArmFromEnv();
   std::ifstream scriptFile;
   std::istream* in = &std::cin;
   if (argc > 1) {

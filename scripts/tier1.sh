@@ -34,7 +34,7 @@ echo "== tier 1: lock-order gate (jrcheck armed over service tests) =="
 # finding — so a lock inversion anywhere in the service/queue/obs
 # protocols fails tier 1 here even though no deadlock fired.
 JROUTE_LOCKCHECK=1 ctest --test-dir build --output-on-failure -j "$JOBS" \
-  -R 'Service|Lockcheck'
+  -R 'Service|Lockcheck|Prof'
 
 echo
 echo "== tier 1: static model verification (jrverify over every device) =="
@@ -67,13 +67,37 @@ if build/examples/jrload --slo "bogus" >/dev/null 2>&1; then
   exit 1
 fi
 # 10^5 mixed requests (p2p / fanout / bus / unroute / reconnect) across
-# 100 concurrent sessions on the XCV1000, with a live SLO objective; the
-# SLO-tagged p50/p99 record appends to BENCH_service.json and the JSONL
-# validator then re-reads the whole file including it.
-JROUTE_BENCH_RECORD="$PWD/BENCH_service.json" \
+# 100 concurrent sessions on the XCV1000, with a live SLO objective and
+# the jrprof profiler armed (JROUTE_PROF=1): the run doubles as the
+# profiler smoke — the top-contenders report must be non-empty, its JSON
+# dump must parse, and the documented root of the lock hierarchy
+# (service.fabric) must appear in it. The SLO-tagged p50/p99 record
+# appends to BENCH_service.json and the JSONL validator then re-reads
+# the whole file including it.
+PROF_JSON=build/jrload-prof.json
+JROUTE_BENCH_RECORD="$PWD/BENCH_service.json" JROUTE_PROF=1 \
   build/examples/jrload --device XCV1000 --sessions 100 \
   --requests "${JRLOAD_REQUESTS:-100000}" \
-  --slo "latency_us=5000,target=0.999,burn=8"
+  --slo "latency_us=5000,target=0.999,burn=8" \
+  --prof-json "$PROF_JSON"
+if [[ ! -s "$PROF_JSON" ]]; then
+  echo "jrload prof smoke: expected profiler JSON at $PROF_JSON" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null; then
+  python3 - "$PROF_JSON" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+locks = d["prof"]["locks"]
+assert locks, "prof report: empty top-contenders lock list"
+names = [l["name"] for l in locks]
+assert "service.fabric" in names, f"prof report: service.fabric missing from {names}"
+print(f"prof smoke OK: {len(locks)} lock(s) profiled, service.fabric present")
+EOF
+else
+  grep -q '"service.fabric"' "$PROF_JSON"
+  echo "prof smoke OK (python3 absent; grep-only check)"
+fi
 JROUTE_BENCH_JSONL="$PWD/BENCH_service.json" \
   ctest --test-dir build --output-on-failure -R 'ObsBenchRecord'
 
@@ -108,7 +132,7 @@ cmake --build build-tsan -j "$JOBS" --target jr_tests
 # never produce. Any failure is replayable from the printed seed.
 JROUTE_LOCKCHECK=perturb JROUTE_LOCKCHECK_SEED=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'Service|Obs|Lookahead|Lockcheck'
+  -R 'Service|Obs|Lookahead|Lockcheck|Prof'
 
 echo
 echo "== tier 1: ASan+UBSan pass (service + DRC analyzer + telemetry) =="
@@ -116,7 +140,7 @@ cmake -B build-asan -S . -DJROUTE_ASAN=ON -DJROUTE_UBSAN=ON \
   -DJROUTE_BUILD_BENCH=OFF -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$JOBS" --target jr_tests
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'Service|Drc|Obs|Verify|Lookahead|Lockcheck'
+  -R 'Service|Drc|Obs|Verify|Lookahead|Lockcheck|Prof'
 
 echo
 echo "== tier 1: telemetry-compiled-out build (JROUTE_NO_TELEMETRY) =="
@@ -124,11 +148,19 @@ cmake -B build-notelem -S . -DJROUTE_NO_TELEMETRY=ON \
   -DJROUTE_BUILD_BENCH=OFF -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-notelem -j "$JOBS" --target jr_tests
 ctest --test-dir build-notelem --output-on-failure -j "$JOBS" \
-  -R 'Service|Drc|Obs|Verify|Lookahead|Lockcheck'
+  -R 'Service|Drc|Obs|Verify|Lookahead|Lockcheck|Prof'
 
 echo
 echo "== tier 1: lint =="
 scripts/lint.sh "$JOBS"
+
+echo
+echo "== tier 1: bench regression sentinel (non-fatal) =="
+# Warn-level only: compares the newest record per bench/mode group in
+# BENCH_service.json against the median of its recent predecessors and
+# prints anything slower than the threshold. Perf noise must not make
+# the build red, so the sentinel's exit code is ignored by design.
+scripts/bench_regress.sh || true
 
 echo
 echo "tier 1: OK"

@@ -103,6 +103,10 @@ std::string lockName(uint32_t slot) {
   return reg.names[slot];
 }
 
+uint32_t slotOf(jrsync::Mutex& mu) { return slotFor(mu); }
+
+uint32_t lockCount() { return static_cast<uint32_t>(registrySize()); }
+
 uint32_t currentThreadTag() {
   static std::atomic<uint32_t> nextTag{1};
   thread_local uint32_t tag = nextTag.fetch_add(1);

@@ -182,4 +182,13 @@ uint32_t registerLock(const char* name);
 /// Name behind a registry slot ("?" when out of range).
 std::string lockName(uint32_t slot);
 
+/// Registry slot of a mutex, assigning one on first sight. The registry
+/// is shared by every armed consumer of the named-lock layer — jrcheck
+/// itself and the jrprof contention profiler (src/obs/prof.h) — so a
+/// mutex keeps one identity across checker and profiler reports.
+uint32_t slotOf(jrsync::Mutex& mu);
+
+/// Number of registered named locks (highest assigned slot).
+uint32_t lockCount();
+
 }  // namespace jrcheck

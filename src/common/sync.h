@@ -15,11 +15,20 @@
 // never-taken branch, so the hot path pays effectively nothing; the
 // checker library defines the hooks, this header only declares them.
 //
+// A second armable consumer shares the same named-mutex registry: jrprof
+// (src/obs/prof.h), the lock-contention profiler. Where jrcheck asks "can
+// these locks deadlock?", jrprof asks "which lock is the batch engine
+// actually waiting on, and for how long?". Armed, lock() classifies each
+// acquisition as contended (the inner try_lock failed) or uncontended,
+// times the wait and the hold, and feeds per-mutex histograms; disarmed
+// it is the same single relaxed load and never-taken branch as jrcheck.
+//
 // Mutex satisfies BasicLockable, so std::condition_variable_any can wait
 // on it directly.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 
 #include "common/types.h"
@@ -27,6 +36,32 @@
 namespace jrsync {
 class Mutex;
 }  // namespace jrsync
+
+namespace jrprof::detail {
+
+/// Nonzero while the profiler is armed. Defined in src/obs/prof.cpp;
+/// declared here so the disarmed fast-path test inlines to one load.
+extern std::atomic<uint32_t> armedFlag;
+
+// Instrumentation hooks, defined by src/obs/prof.cpp. `locked` runs
+// after the underlying lock succeeds (waitNs = 0 and contended = false
+// when the speculative try_lock won); `unlocking` runs before the
+// unlock, closing the hold interval.
+void locked(jrsync::Mutex& mu, uint64_t waitNs, bool contended);
+void unlocking(jrsync::Mutex& mu);
+
+}  // namespace jrprof::detail
+
+namespace jrprof {
+
+/// Is the lock-contention profiler armed? (Relaxed, like jrcheck::armed:
+/// arming mid-flight may miss or misattribute a few events; the disarmed
+/// hot path stays one load + one branch.)
+inline bool armed() {
+  return detail::armedFlag.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace jrprof
 
 namespace jrcheck::detail {
 
@@ -64,11 +99,16 @@ class JR_CAPABILITY("mutex") Mutex {
 
   void lock() JR_ACQUIRE() {
     if (jrcheck::armed()) jrcheck::detail::acquiring(*this);
-    mu_.lock();
+    if (jrprof::armed()) {
+      lockProfiled();
+    } else {
+      mu_.lock();
+    }
     if (jrcheck::armed()) jrcheck::detail::acquired(*this);
   }
   void unlock() JR_RELEASE() {
     if (jrcheck::armed()) jrcheck::detail::released(*this);
+    if (jrprof::armed()) jrprof::detail::unlocking(*this);
     mu_.unlock();
   }
   bool try_lock() JR_TRY_ACQUIRE(true) {
@@ -76,6 +116,7 @@ class JR_CAPABILITY("mutex") Mutex {
     // a successful one still joins the held stack.
     const bool got = mu_.try_lock();
     if (got && jrcheck::armed()) jrcheck::detail::acquired(*this);
+    if (got && jrprof::armed()) jrprof::detail::locked(*this, 0, false);
     return got;
   }
 
@@ -86,6 +127,23 @@ class JR_CAPABILITY("mutex") Mutex {
   std::atomic<uint32_t>& checkSlot() { return slot_; }
 
  private:
+  // Armed-profiler acquisition: a speculative try_lock gives the exact
+  // contended/uncontended split — a blocking lock() alone cannot tell a
+  // zero-wait acquisition from a short one. Only the contended path pays
+  // for clock reads.
+  void lockProfiled() {
+    if (mu_.try_lock()) {
+      jrprof::detail::locked(*this, 0, false);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    mu_.lock();
+    const auto waitNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    jrprof::detail::locked(*this, static_cast<uint64_t>(waitNs), true);
+  }
+
   const char* name_ = "mutex";
   std::atomic<uint32_t> slot_{0};
   std::mutex mu_;

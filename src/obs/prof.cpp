@@ -1,0 +1,635 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "check/lockcheck.h"
+#include "obs/jsonutil.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace jrprof {
+
+namespace detail {
+
+std::atomic<uint32_t> armedFlag{0};
+
+}  // namespace detail
+
+namespace {
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Lock-contention accumulation
+//
+// One stats block per jrcheck registry slot, created lazily under a raw
+// std::mutex (never a jrsync::Mutex: the profiler's own locks must not
+// feed the instrumentation they implement — same rule as jrcheck). The
+// hot path is an acquire load of the slot pointer plus relaxed adds.
+
+constexpr uint32_t kMaxSlots = 512;
+
+struct SlotStats {
+  std::atomic<uint64_t> acquires{0};
+  std::atomic<uint64_t> contended{0};
+  std::atomic<uint64_t> waitNs{0};
+  std::atomic<uint64_t> holdNs{0};
+  std::atomic<uint64_t> waitMaxNs{0};
+  jrobs::Counter* acqCtr = nullptr;
+  jrobs::Counter* contCtr = nullptr;
+  jrobs::Histogram* waitHist = nullptr;
+  jrobs::Histogram* holdHist = nullptr;
+};
+
+std::atomic<SlotStats*> g_slots[kMaxSlots] = {};
+
+/// Locks held while armed in a previous arming session must not close
+/// hold intervals into the current one; entries are tagged with the
+/// generation they were pushed under.
+std::atomic<uint32_t> g_armGen{0};
+
+// Registering a slot's metrics takes the registry mutex — itself a
+// jrsync::Mutex — so the hooks must be reentrancy-guarded exactly like
+// jrcheck's, or first-sight registration would recurse into itself.
+thread_local bool t_inHook = false;
+
+/// The one mutex whose sync.* metrics can never be registry-backed: its
+/// locked() hook fires while the thread holds it, and registration would
+/// re-lock it (non-recursive) — instant self-deadlock. Its stats live in
+/// the slot atomics only, which is all the contenders report reads.
+constexpr const char* kRegistryLockName = "obs.metrics";
+
+SlotStats* statsFor(uint32_t slot) {
+  if (slot == 0 || slot >= kMaxSlots) return nullptr;
+  SlotStats* s = g_slots[slot].load(std::memory_order_acquire);
+  if (s != nullptr) return s;
+  // Lock-free creation: a guard mutex here would close an ABBA cycle
+  // with the registry lock (another thread inside the registry running
+  // its own first-sight hook). Concurrent losers re-register the same
+  // metric names — the registry dedups by name — and delete their block.
+  auto* fresh = new SlotStats();
+  const std::string name = jrcheck::lockName(slot);
+  if (name != kRegistryLockName) {
+    jrobs::MetricsRegistry& reg = jrobs::registry();
+    fresh->acqCtr = &reg.counter("sync." + name + ".acquires");
+    fresh->contCtr = &reg.counter("sync." + name + ".contended");
+    fresh->waitHist = &reg.histogram("sync." + name + ".wait_us");
+    fresh->holdHist = &reg.histogram("sync." + name + ".hold_us");
+  }
+  SlotStats* expected = nullptr;
+  if (!g_slots[slot].compare_exchange_strong(expected, fresh,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+    delete fresh;
+    return expected;
+  }
+  return fresh;
+}
+
+void recordAcquire(SlotStats& s, uint64_t waitNs, bool contended) {
+  s.acquires.fetch_add(1, std::memory_order_relaxed);
+  if (s.acqCtr != nullptr) s.acqCtr->add(1);
+  if (!contended) return;
+  s.contended.fetch_add(1, std::memory_order_relaxed);
+  s.waitNs.fetch_add(waitNs, std::memory_order_relaxed);
+  uint64_t cur = s.waitMaxNs.load(std::memory_order_relaxed);
+  while (waitNs > cur && !s.waitMaxNs.compare_exchange_weak(
+                             cur, waitNs, std::memory_order_relaxed)) {
+  }
+  if (s.contCtr != nullptr) s.contCtr->add(1);
+  if (s.waitHist != nullptr) s.waitHist->record(waitNs / 1000);
+}
+
+void recordRelease(SlotStats& s, uint64_t holdNs) {
+  s.holdNs.fetch_add(holdNs, std::memory_order_relaxed);
+  if (s.holdHist != nullptr) s.holdHist->record(holdNs / 1000);
+}
+
+// Per-thread held stack for hold-time attribution. Fixed storage: the
+// hooks may run under any lock in the process and must never allocate.
+struct HeldEntry {
+  uint32_t slot = 0;
+  uint32_t gen = 0;
+  uint64_t tAcqNs = 0;
+  SlotStats* stats = nullptr;
+};
+constexpr int kMaxHeld = 32;
+thread_local HeldEntry t_held[kMaxHeld];
+thread_local int t_heldDepth = 0;
+
+// ---------------------------------------------------------------------------
+// Batch aggregate
+
+std::atomic<uint64_t> g_batches{0};
+std::atomic<uint64_t> g_minEffPct{UINT64_MAX};
+
+struct BatchMetrics {
+  jrobs::Histogram& wallUs;
+  jrobs::Histogram& planWorkUs;
+  jrobs::Histogram& criticalPathUs;
+  jrobs::Histogram& efficiencyPct;
+  jrobs::Histogram& serialSharePct;
+};
+
+BatchMetrics& batchMetrics() {
+  static BatchMetrics m{
+      jrobs::registry().histogram("service.batch.wall_us"),
+      jrobs::registry().histogram("service.batch.plan_work_us"),
+      jrobs::registry().histogram("service.batch.critical_path_us"),
+      jrobs::registry().histogram("service.batch.efficiency_pct"),
+      jrobs::registry().histogram("service.batch.serial_share_pct"),
+  };
+  return m;
+}
+
+std::string fmtDouble(double v, const char* fmt = "%.4f") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Hooks (called from common/sync.h when armed)
+
+namespace detail {
+
+void locked(jrsync::Mutex& mu, uint64_t waitNs, bool contended) {
+  if (t_inHook) return;
+  t_inHook = true;
+  const uint32_t slot = jrcheck::slotOf(mu);
+  SlotStats* s = statsFor(slot);
+  if (s != nullptr) {
+    recordAcquire(*s, waitNs, contended);
+    if (t_heldDepth < kMaxHeld) {
+      t_held[t_heldDepth++] = {slot,
+                               g_armGen.load(std::memory_order_relaxed),
+                               nowNs(), s};
+    }
+  }
+  t_inHook = false;
+}
+
+void unlocking(jrsync::Mutex& mu) {
+  if (t_inHook) return;
+  t_inHook = true;
+  // Read the slot without registering: a mutex first seen at unlock was
+  // locked while disarmed and has no open hold interval anyway.
+  const uint32_t slot = mu.checkSlot().load(std::memory_order_acquire);
+  if (slot != 0) {
+    const uint32_t gen = g_armGen.load(std::memory_order_relaxed);
+    for (int i = t_heldDepth - 1; i >= 0; --i) {
+      if (t_held[i].slot != slot) continue;
+      if (t_held[i].gen == gen && t_held[i].stats != nullptr) {
+        recordRelease(*t_held[i].stats, nowNs() - t_held[i].tAcqNs);
+      }
+      for (int j = i; j + 1 < t_heldDepth; ++j) t_held[j] = t_held[j + 1];
+      --t_heldDepth;
+      break;
+    }
+  }
+  t_inHook = false;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Test seams
+
+void noteAcquire(uint32_t slot, uint64_t waitNs, bool contended) {
+  SlotStats* s = statsFor(slot);
+  if (s != nullptr) recordAcquire(*s, waitNs, contended);
+}
+
+void noteRelease(uint32_t slot, uint64_t holdNs) {
+  SlotStats* s = statsFor(slot);
+  if (s != nullptr) recordRelease(*s, holdNs);
+}
+
+// ---------------------------------------------------------------------------
+// Lock-contention report
+
+LockContentionReport lockReport() {
+  LockContentionReport rep;
+  rep.armed = armed();
+  std::map<std::string, LockStat> byName;
+  const uint32_t count = std::min(jrcheck::lockCount(), kMaxSlots - 1);
+  for (uint32_t slot = 1; slot <= count; ++slot) {
+    SlotStats* s = g_slots[slot].load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    const uint64_t acquires = s->acquires.load(std::memory_order_relaxed);
+    const uint64_t holdNs = s->holdNs.load(std::memory_order_relaxed);
+    if (acquires == 0 && holdNs == 0) continue;
+    const std::string name = jrcheck::lockName(slot);
+    LockStat& ls = byName[name];
+    ls.name = name;
+    ls.acquires += acquires;
+    ls.contended += s->contended.load(std::memory_order_relaxed);
+    ls.waitUs += s->waitNs.load(std::memory_order_relaxed) / 1000;
+    ls.holdUs += holdNs / 1000;
+    ls.waitMaxUs = std::max(
+        ls.waitMaxUs, s->waitMaxNs.load(std::memory_order_relaxed) / 1000);
+  }
+  for (auto& [name, ls] : byName) {
+    ls.contendedShare =
+        ls.acquires == 0
+            ? 0.0
+            : static_cast<double>(ls.contended) /
+                  static_cast<double>(ls.acquires);
+    rep.locks.push_back(ls);
+  }
+  std::sort(rep.locks.begin(), rep.locks.end(),
+            [](const LockStat& a, const LockStat& b) {
+              if (a.waitUs != b.waitUs) return a.waitUs > b.waitUs;
+              if (a.contended != b.contended) return a.contended > b.contended;
+              return a.name < b.name;
+            });
+  return rep;
+}
+
+std::string LockContentionReport::text(size_t k) const {
+  std::string out = "lock contention — top contenders by total wait";
+  out += armed ? " (armed)\n" : " (disarmed)\n";
+  if (locks.empty()) {
+    out += "  no contended acquisitions observed; arm with `prof arm` (or "
+           "JROUTE_PROF=1) and drive load\n";
+    return out;
+  }
+  char line[256];
+  std::snprintf(line, sizeof line, "  %-24s %10s %10s %7s %12s %12s %12s\n",
+                "lock", "acquires", "contended", "cont%", "wait_us",
+                "max_wait_us", "hold_us");
+  out += line;
+  const size_t n = std::min(k, locks.size());
+  for (size_t i = 0; i < n; ++i) {
+    const LockStat& ls = locks[i];
+    std::snprintf(line, sizeof line,
+                  "  %-24s %10llu %10llu %6.1f%% %12llu %12llu %12llu\n",
+                  ls.name.c_str(),
+                  static_cast<unsigned long long>(ls.acquires),
+                  static_cast<unsigned long long>(ls.contended),
+                  ls.contendedShare * 100.0,
+                  static_cast<unsigned long long>(ls.waitUs),
+                  static_cast<unsigned long long>(ls.waitMaxUs),
+                  static_cast<unsigned long long>(ls.holdUs));
+    out += line;
+  }
+  if (locks.size() > n) {
+    out += "  (" + std::to_string(locks.size() - n) + " more; see `prof json`)\n";
+  }
+  return out;
+}
+
+std::string LockContentionReport::json() const {
+  std::string out = "[";
+  for (size_t i = 0; i < locks.size(); ++i) {
+    const LockStat& ls = locks[i];
+    if (i > 0) out += ",";
+    out += "{" + jrobs::jsonKv("name", ls.name) +
+           ",\"acquires\":" + std::to_string(ls.acquires) +
+           ",\"contended\":" + std::to_string(ls.contended) +
+           ",\"contended_share\":" + fmtDouble(ls.contendedShare) +
+           ",\"wait_us\":" + std::to_string(ls.waitUs) +
+           ",\"wait_max_us\":" + std::to_string(ls.waitMaxUs) +
+           ",\"hold_us\":" + std::to_string(ls.holdUs) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Batch critical path
+
+BatchRequestSample sampleFromSpan(const jrobs::RequestSpan& span,
+                                  bool parallel) {
+  // Mirror SpanAggregator::fold's monotone clamp so batch arithmetic and
+  // the span report agree to the microsecond.
+  BatchRequestSample out;
+  out.parallel = parallel;
+  uint64_t segUs[jrobs::kNumSpanSegments] = {};
+  uint64_t prev = span.at(jrobs::SpanStage::kEnqueue);
+  for (size_t i = 1; i < jrobs::kNumSpanStages; ++i) {
+    const uint64_t raw = span.at(static_cast<jrobs::SpanStage>(i));
+    const uint64_t t = std::max(raw == 0 ? prev : raw, prev);
+    segUs[i - 1] = (t - prev) / 1000;
+    prev = t;
+  }
+  out.planUs = segUs[2];         // kPlanStart -> kPlanEnd
+  out.arbitrationUs = segUs[3];  // kPlanEnd -> kArbitration
+  out.commitUs = segUs[4];       // kArbitration -> kCommit
+  return out;
+}
+
+BatchProfile profileBatch(const std::vector<BatchRequestSample>& reqs,
+                          uint64_t wallUs, unsigned planThreads) {
+  BatchProfile p;
+  p.requests = reqs.size();
+  p.planThreads = planThreads == 0 ? 1 : planThreads;
+  p.wallUs = wallUs;
+  for (const BatchRequestSample& r : reqs) {
+    p.planWorkUs += r.planUs;
+    p.commitUs += r.commitUs;
+    if (r.parallel) {
+      p.maxPlanUs = std::max(p.maxPlanUs, r.planUs);
+    } else {
+      p.serialWorkUs += r.planUs;
+    }
+  }
+  p.criticalPathUs = p.maxPlanUs + p.commitUs + p.serialWorkUs;
+  if (wallUs > 0) {
+    p.efficiency = static_cast<double>(p.planWorkUs) /
+                   (static_cast<double>(wallUs) *
+                    static_cast<double>(p.planThreads));
+    p.serialShare = std::min(
+        1.0, static_cast<double>(p.commitUs + p.serialWorkUs) /
+                 static_cast<double>(wallUs));
+  }
+  return p;
+}
+
+std::string BatchProfile::json() const {
+  return "{\"requests\":" + std::to_string(requests) +
+         ",\"plan_threads\":" + std::to_string(planThreads) +
+         ",\"wall_us\":" + std::to_string(wallUs) +
+         ",\"plan_work_us\":" + std::to_string(planWorkUs) +
+         ",\"max_plan_us\":" + std::to_string(maxPlanUs) +
+         ",\"commit_us\":" + std::to_string(commitUs) +
+         ",\"serial_work_us\":" + std::to_string(serialWorkUs) +
+         ",\"critical_path_us\":" + std::to_string(criticalPathUs) +
+         ",\"efficiency\":" + fmtDouble(efficiency) +
+         ",\"serial_share\":" + fmtDouble(serialShare) + "}";
+}
+
+bool recordBatch(const BatchProfile& p) {
+  BatchMetrics& m = batchMetrics();
+  m.wallUs.record(p.wallUs);
+  m.planWorkUs.record(p.planWorkUs);
+  m.criticalPathUs.record(p.criticalPathUs);
+  const auto effPct =
+      static_cast<uint64_t>(std::llround(p.efficiency * 100.0));
+  m.efficiencyPct.record(effPct);
+  m.serialSharePct.record(
+      static_cast<uint64_t>(std::llround(p.serialShare * 100.0)));
+  g_batches.fetch_add(1, std::memory_order_relaxed);
+
+  if (p.requests < kLowEfficiencyMinRequests ||
+      p.efficiency >= kLowEfficiencyThreshold) {
+    return false;
+  }
+  uint64_t cur = g_minEffPct.load(std::memory_order_relaxed);
+  while (effPct < cur) {
+    if (g_minEffPct.compare_exchange_weak(cur, effPct,
+                                          std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Stage sampler
+
+const char* stageName(size_t i) {
+  static const char* const kNames[kNumStages] = {"idle", "queue", "plan",
+                                                 "arbitrate", "commit"};
+  return i < kNumStages ? kNames[i] : "?";
+}
+
+struct StageSampler::Impl {
+  // Raw std::mutex on purpose: guards beacon registration and the
+  // sampler thread's lifecycle, never hot.
+  std::mutex mu;
+  std::vector<StageBeacon*> beacons;
+  std::atomic<uint64_t> perStage[kNumStages] = {};
+  std::atomic<uint64_t> samples{0};
+  std::atomic<uint64_t> ticks{0};
+  std::atomic<bool> running{false};
+  std::thread thread;
+};
+
+StageSampler::StageSampler() : impl_(new Impl()) {}
+
+StageSampler& StageSampler::instance() {
+  static StageSampler* s = new StageSampler();
+  return *s;
+}
+
+StageBeacon& threadBeacon() {
+  thread_local StageBeacon* beacon = [] {
+    auto* b = new StageBeacon();  // leaked: the sampler may outlive us
+    StageSampler::Impl& impl = *StageSampler::instance().impl_;
+    std::lock_guard lk(impl.mu);
+    impl.beacons.push_back(b);
+    return b;
+  }();
+  return *beacon;
+}
+
+void StageSampler::sampleOnce() {
+  uint64_t counts[kNumStages] = {};
+  {
+    std::lock_guard lk(impl_->mu);
+    for (const StageBeacon* b : impl_->beacons) {
+      size_t s = static_cast<size_t>(b->get());
+      if (s >= kNumStages) s = 0;
+      ++counts[s];
+    }
+  }
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumStages; ++i) {
+    impl_->perStage[i].fetch_add(counts[i], std::memory_order_relaxed);
+    total += counts[i];
+  }
+  impl_->samples.fetch_add(total, std::memory_order_relaxed);
+  impl_->ticks.fetch_add(1, std::memory_order_relaxed);
+
+  jrobs::Tracer& tracer = jrobs::Tracer::instance();
+  if (tracer.enabled()) {
+    // One counter track per stage: the number of engine threads observed
+    // in it this tick. Perfetto renders these as stacked area charts
+    // alongside the duration events.
+    for (size_t i = 0; i < kNumStages; ++i) {
+      tracer.counter("prof", stageName(i), counts[i]);
+    }
+  }
+}
+
+StageReport StageSampler::report() const {
+  StageReport r;
+  r.samples = impl_->samples.load(std::memory_order_relaxed);
+  r.ticks = impl_->ticks.load(std::memory_order_relaxed);
+  r.periodUs = kPeriodUs;
+  for (size_t i = 0; i < kNumStages; ++i) {
+    r.perStage[i] = impl_->perStage[i].load(std::memory_order_relaxed);
+  }
+  return r;
+}
+
+void StageSampler::reset() {
+  for (auto& s : impl_->perStage) s.store(0, std::memory_order_relaxed);
+  impl_->samples.store(0, std::memory_order_relaxed);
+  impl_->ticks.store(0, std::memory_order_relaxed);
+}
+
+void StageSampler::startThread() {
+  std::lock_guard lk(impl_->mu);
+  if (impl_->running.load(std::memory_order_relaxed)) return;
+  impl_->running.store(true, std::memory_order_relaxed);
+  impl_->thread = std::thread([this] {
+    while (impl_->running.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(kPeriodUs));
+      sampleOnce();
+    }
+  });
+}
+
+void StageSampler::stopThread() {
+  std::thread toJoin;
+  {
+    std::lock_guard lk(impl_->mu);
+    if (!impl_->running.load(std::memory_order_relaxed)) return;
+    impl_->running.store(false, std::memory_order_relaxed);
+    toJoin = std::move(impl_->thread);
+  }
+  if (toJoin.joinable()) toJoin.join();
+}
+
+double StageReport::share(size_t i) const {
+  if (i >= kNumStages) return 0.0;
+  uint64_t busy = 0;
+  for (size_t s = 1; s < kNumStages; ++s) busy += perStage[s];
+  if (i == 0 || busy == 0) {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(perStage[i]) /
+                              static_cast<double>(samples);
+  }
+  return static_cast<double>(perStage[i]) / static_cast<double>(busy);
+}
+
+std::string StageReport::text() const {
+  std::string out = "stage sampling — " + std::to_string(ticks) +
+                    " ticks @ " + std::to_string(periodUs) + " us, " +
+                    std::to_string(samples) + " thread-samples\n";
+  if (samples == 0) {
+    out += "  no samples; the sampler runs only while prof is armed\n";
+    return out;
+  }
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-10s %10s %8s %12s\n", "stage",
+                "samples", "share", "est_wall_ms");
+  out += line;
+  for (size_t i = 0; i < kNumStages; ++i) {
+    std::snprintf(line, sizeof line, "  %-10s %10llu %7.1f%% %12.1f\n",
+                  stageName(i),
+                  static_cast<unsigned long long>(perStage[i]),
+                  share(i) * 100.0,
+                  static_cast<double>(perStage[i] * periodUs) / 1000.0);
+    out += line;
+  }
+  out += "  (share is of non-idle samples; idle's is of all samples)\n";
+  return out;
+}
+
+std::string StageReport::json() const {
+  std::string out = "{\"ticks\":" + std::to_string(ticks) +
+                    ",\"period_us\":" + std::to_string(periodUs) +
+                    ",\"samples\":" + std::to_string(samples) +
+                    ",\"stages\":[";
+  for (size_t i = 0; i < kNumStages; ++i) {
+    if (i > 0) out += ",";
+    out += "{" + jrobs::jsonKv("name", stageName(i)) +
+           ",\"samples\":" + std::to_string(perStage[i]) +
+           ",\"share\":" + fmtDouble(share(i)) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Arming & combined report
+
+void arm() {
+#ifndef JROUTE_NO_TELEMETRY
+  if (armed()) return;
+  g_armGen.fetch_add(1, std::memory_order_relaxed);
+  detail::armedFlag.store(1, std::memory_order_relaxed);
+  StageSampler::instance().startThread();
+#endif
+}
+
+void disarm() {
+  if (!armed()) return;
+  detail::armedFlag.store(0, std::memory_order_relaxed);
+  StageSampler::instance().stopThread();
+}
+
+void maybeArmFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("JROUTE_PROF");
+    if (env != nullptr && env[0] != '\0' && env[0] != '0') arm();
+  });
+}
+
+void resetAll() {
+  const uint32_t count = std::min(jrcheck::lockCount(), kMaxSlots - 1);
+  for (uint32_t slot = 1; slot <= count; ++slot) {
+    SlotStats* s = g_slots[slot].load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    s->acquires.store(0, std::memory_order_relaxed);
+    s->contended.store(0, std::memory_order_relaxed);
+    s->waitNs.store(0, std::memory_order_relaxed);
+    s->holdNs.store(0, std::memory_order_relaxed);
+    s->waitMaxNs.store(0, std::memory_order_relaxed);
+  }
+  g_batches.store(0, std::memory_order_relaxed);
+  g_minEffPct.store(UINT64_MAX, std::memory_order_relaxed);
+  StageSampler::instance().reset();
+}
+
+ProfReport report() {
+  ProfReport r;
+  r.armed = armed();
+  r.locks = lockReport();
+  r.stages = StageSampler::instance().report();
+  r.batches = g_batches.load(std::memory_order_relaxed);
+  return r;
+}
+
+std::string ProfReport::text() const {
+  std::string out = "jrprof — ";
+  out += armed ? "armed" : "disarmed";
+  out += ", " + std::to_string(batches) + " batches profiled\n\n";
+  out += locks.text(10);
+  out += "\n";
+  out += stages.text();
+  out += "\nbatch critical path: service.batch.* histograms (see `stats`)\n";
+  return out;
+}
+
+std::string ProfReport::topText() const { return locks.text(10); }
+
+std::string ProfReport::json() const {
+  std::string out = "{\"prof\":{\"armed\":";
+  out += armed ? "true" : "false";
+  out += ",\"batches\":" + std::to_string(batches);
+  out += ",\"locks\":" + locks.json();
+  out += ",\"stages\":" + stages.json();
+  out += "}}";
+  return out;
+}
+
+}  // namespace jrprof

@@ -75,7 +75,7 @@ void Tracer::record(const char* cat, const char* name, uint64_t tsNs,
   e.name = name;
   e.tsNs = tsNs;
   e.durNs = durNs;
-  e.instant = false;
+  e.phase = TraceEvent::Phase::kDuration;
   r.head.store(h + 1, std::memory_order_release);
 }
 
@@ -89,7 +89,21 @@ void Tracer::instant(const char* cat, const char* name) {
   e.name = name;
   e.tsNs = now;
   e.durNs = 0;
-  e.instant = true;
+  e.phase = TraceEvent::Phase::kInstant;
+  r.head.store(h + 1, std::memory_order_release);
+}
+
+void Tracer::counter(const char* cat, const char* name, uint64_t value) {
+  if (!enabled()) return;
+  const uint64_t now = nowNs();
+  Ring& r = localRing();
+  const uint64_t h = r.head.load(std::memory_order_relaxed);
+  TraceEvent& e = r.events[h % kRingCapacity];
+  e.cat = cat;
+  e.name = name;
+  e.tsNs = now;
+  e.durNs = value;
+  e.phase = TraceEvent::Phase::kCounter;
   r.head.store(h + 1, std::memory_order_release);
 }
 
@@ -130,16 +144,21 @@ std::string Tracer::exportJson() const {
       const TraceEvent& e = r.events[seq % kRingCapacity];
       if (!first) os << ',';
       first = false;
+      const char ph = e.phase == TraceEvent::Phase::kInstant   ? 'i'
+                      : e.phase == TraceEvent::Phase::kCounter ? 'C'
+                                                               : 'X';
       os << "{\"cat\":\"" << e.cat << "\",\"name\":\"" << e.name
-         << "\",\"ph\":\"" << (e.instant ? 'i' : 'X') << '"';
-      if (e.instant) os << ",\"s\":\"t\"";
+         << "\",\"ph\":\"" << ph << '"';
+      if (e.phase == TraceEvent::Phase::kInstant) os << ",\"s\":\"t\"";
       std::snprintf(buf, sizeof buf, ",\"ts\":%.3f",
                     static_cast<double>(e.tsNs) / 1000.0);
       os << buf;
-      if (!e.instant) {
+      if (e.phase == TraceEvent::Phase::kDuration) {
         std::snprintf(buf, sizeof buf, ",\"dur\":%.3f",
                       static_cast<double>(e.durNs) / 1000.0);
         os << buf;
+      } else if (e.phase == TraceEvent::Phase::kCounter) {
+        os << ",\"args\":{\"value\":" << e.durNs << '}';
       }
       os << ",\"pid\":1,\"tid\":" << t + 1 << '}';
     }

@@ -130,9 +130,13 @@ class RoutingService {
 
   /// Point-in-time copy of the process-wide telemetry registry (router,
   /// service, txn, and DRC metrics), with the service's live gauges
-  /// (queue depth, per-region occupancy and claim conflicts) refreshed
-  /// first. Safe to call while the engine runs (briefly takes the fabric
-  /// lock to read occupancy consistently).
+  /// (queue depth, per-region occupancy and claim conflicts, lockcheck
+  /// and SLO state, jrprof health — service.prof.{armed,locks,batches,
+  /// sampler_ticks}) refreshed first. The profiler's data metrics
+  /// (sync.<lock>.*, service.batch.*) are recorded live by jrprof and
+  /// appear in the snapshot whenever it has been armed. Safe to call
+  /// while the engine runs (briefly takes the fabric lock to read
+  /// occupancy consistently).
   jrobs::MetricsSnapshot snapshotMetrics() const;
 
   /// Per-region count of in-use fabric nodes, consistent under the

@@ -1,0 +1,372 @@
+// jrprof tests: injected-clock exactness of the lock-contention
+// accumulators, contended-vs-uncontended classification through the real
+// mutex hooks, batch critical-path arithmetic against hand-stamped
+// spans, deterministic stage-sampler attribution, the disarmed fast
+// path's zero-allocation guarantee, and JSON validity of every report
+// surface.
+//
+// Suite names contain "Prof" on purpose: tier1.sh's armed, TSAN, ASan,
+// and no-telemetry ctest passes all select on it.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "check/lockcheck.h"
+#include "common/sync.h"
+#include "json_validator.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/spans.h"
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Allocation counting for the disarmed fast-path test. Replacing the
+// global operator new/delete pair affects the whole test binary, so it
+// only counts (per thread) and never changes behavior. Under ASan/TSan
+// the replacement would displace the sanitizer's own new/delete
+// interceptors and misreport every allocation in the binary as an
+// alloc-dealloc mismatch, so it is compiled out there and the
+// zero-allocation test skips instead.
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define JRPROF_TEST_COUNTS_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define JRPROF_TEST_COUNTS_ALLOCS 0
+#else
+#define JRPROF_TEST_COUNTS_ALLOCS 1
+#endif
+#else
+#define JRPROF_TEST_COUNTS_ALLOCS 1
+#endif
+
+thread_local uint64_t t_allocCalls = 0;
+
+}  // namespace
+
+#if JRPROF_TEST_COUNTS_ALLOCS
+void* operator new(std::size_t n) {
+  ++t_allocCalls;
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) {
+  ++t_allocCalls;
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // JRPROF_TEST_COUNTS_ALLOCS
+
+namespace {
+
+const jrprof::LockStat* findLock(const jrprof::LockContentionReport& rep,
+                                 const std::string& name) {
+  for (const jrprof::LockStat& s : rep.locks) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+// --------------------------------------------------------------------------
+// View 1: lock contention
+
+TEST(ProfTest, InjectedClockWaitHoldExactness) {
+  jrprof::resetAll();
+  const uint32_t slot = jrcheck::registerLock("test.prof.exact");
+  jrprof::noteAcquire(slot, 0, false);
+  jrprof::noteAcquire(slot, 5'000, true);   // 5us blocking wait
+  jrprof::noteAcquire(slot, 12'000, true);  // 12us
+  jrprof::noteRelease(slot, 7'000);         // 7us hold
+  jrprof::noteRelease(slot, 3'000);
+
+  const jrprof::LockContentionReport rep = jrprof::lockReport();
+  const jrprof::LockStat* s = findLock(rep, "test.prof.exact");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->acquires, 3u);
+  EXPECT_EQ(s->contended, 2u);
+  EXPECT_EQ(s->waitUs, 17u);  // (5000 + 12000) ns summed, then /1000
+  EXPECT_EQ(s->waitMaxUs, 12u);
+  EXPECT_EQ(s->holdUs, 10u);
+  EXPECT_DOUBLE_EQ(s->contendedShare, 2.0 / 3.0);
+
+  if (jrobs::compiledIn()) {
+    // The registry-side histograms record microsecond values; 5 and 12
+    // are below the first log-bucket boundary (16), so count and sum
+    // are exact.
+    jrobs::Histogram& wait =
+        jrobs::registry().histogram("sync.test.prof.exact.wait_us");
+    EXPECT_EQ(wait.count(), 2u);
+    EXPECT_EQ(wait.sum(), 17u);
+    jrobs::Histogram& hold =
+        jrobs::registry().histogram("sync.test.prof.exact.hold_us");
+    EXPECT_EQ(hold.count(), 2u);
+    EXPECT_EQ(hold.sum(), 10u);
+    jrobs::Counter& acq =
+        jrobs::registry().counter("sync.test.prof.exact.acquires");
+    EXPECT_EQ(acq.value(), 3u);
+  }
+}
+
+TEST(ProfTest, ContendedVsUncontendedClassification) {
+  if (!jrobs::compiledIn()) {
+    GTEST_SKIP() << "arm() is a no-op under JROUTE_NO_TELEMETRY";
+  }
+  jrprof::resetAll();
+  jrprof::arm();
+  {
+    jrsync::Mutex mu("test.prof.contend");
+    std::atomic<bool> held{false};
+    std::thread holder([&] {
+      mu.lock();
+      held.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      mu.unlock();
+    });
+    while (!held.load(std::memory_order_acquire)) std::this_thread::yield();
+    mu.lock();  // must block on the holder: classified contended
+    mu.unlock();
+    holder.join();
+    mu.lock();  // nobody home: classified uncontended
+    mu.unlock();
+  }
+  jrprof::disarm();
+
+  const jrprof::LockContentionReport rep = jrprof::lockReport();
+  const jrprof::LockStat* s = findLock(rep, "test.prof.contend");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->acquires, 3u);   // holder + contended + uncontended
+  EXPECT_EQ(s->contended, 1u);  // only the blocked acquisition
+  // The blocked acquisition waited for most of the holder's 50ms sleep;
+  // assert a generous lower bound to stay robust under sanitizers.
+  EXPECT_GE(s->waitUs, 1'000u);
+  EXPECT_EQ(s->waitMaxUs, s->waitUs);  // single contended acquire
+  // The holder's 50ms hold dominates the summed hold time.
+  EXPECT_GE(s->holdUs, 10'000u);
+  EXPECT_DOUBLE_EQ(s->contendedShare, 1.0 / 3.0);
+}
+
+// --------------------------------------------------------------------------
+// View 2: batch critical path
+
+// Under JROUTE_NO_TELEMETRY RequestSpan is an empty stub with no `ns`
+// member, so this test cannot even compile there; the preprocessor
+// guard replaces the usual runtime compiledIn() skip.
+#ifndef JROUTE_NO_TELEMETRY
+TEST(ProfTest, SampleFromSpanTelescoping) {
+  jrobs::RequestSpan span;
+  using S = jrobs::SpanStage;
+  span.ns[static_cast<size_t>(S::kEnqueue)] = 1'000'000;
+  span.ns[static_cast<size_t>(S::kBatchClose)] = 1'200'000;
+  span.ns[static_cast<size_t>(S::kPlanStart)] = 1'300'000;
+  span.ns[static_cast<size_t>(S::kPlanEnd)] = 1'800'000;     // plan 500us
+  span.ns[static_cast<size_t>(S::kArbitration)] = 1'900'000;  // arb 100us
+  span.ns[static_cast<size_t>(S::kCommit)] = 2'400'000;       // commit 500us
+  span.ns[static_cast<size_t>(S::kReply)] = 2'450'000;
+
+  const jrprof::BatchRequestSample s = jrprof::sampleFromSpan(span, true);
+  EXPECT_EQ(s.planUs, 500u);
+  EXPECT_EQ(s.arbitrationUs, 100u);
+  EXPECT_EQ(s.commitUs, 500u);
+  EXPECT_TRUE(s.parallel);
+
+  // A missing stamp clamps to a zero-length segment (fold()'s monotone
+  // clamp), never a negative or wrapped one.
+  jrobs::RequestSpan partial;
+  partial.ns[static_cast<size_t>(S::kEnqueue)] = 1'000'000;
+  partial.ns[static_cast<size_t>(S::kCommit)] = 2'000'000;
+  const jrprof::BatchRequestSample p = jrprof::sampleFromSpan(partial, false);
+  EXPECT_EQ(p.planUs, 0u);
+  EXPECT_EQ(p.arbitrationUs, 0u);
+  EXPECT_EQ(p.commitUs, 1'000u);
+}
+#endif  // JROUTE_NO_TELEMETRY
+
+TEST(ProfTest, ProfileBatchArithmetic) {
+  std::vector<jrprof::BatchRequestSample> reqs = {
+      {500, 10, 100, true},   // parallel
+      {300, 5, 80, true},     // parallel
+      {200, 0, 50, false},    // serialized
+  };
+  const jrprof::BatchProfile p = jrprof::profileBatch(reqs, 1000, 2);
+  EXPECT_EQ(p.requests, 3u);
+  EXPECT_EQ(p.planThreads, 2u);
+  EXPECT_EQ(p.wallUs, 1000u);
+  EXPECT_EQ(p.planWorkUs, 1000u);     // 500 + 300 + 200
+  EXPECT_EQ(p.maxPlanUs, 500u);       // longest parallel plan
+  EXPECT_EQ(p.commitUs, 230u);        // 100 + 80 + 50
+  EXPECT_EQ(p.serialWorkUs, 200u);    // serialized request's plan
+  EXPECT_EQ(p.criticalPathUs, 930u);  // 500 + 230 + 200
+  EXPECT_DOUBLE_EQ(p.efficiency, 1000.0 / (1000.0 * 2));
+  EXPECT_DOUBLE_EQ(p.serialShare, 430.0 / 1000.0);
+
+  // Degenerate inputs must not divide by zero.
+  const jrprof::BatchProfile empty = jrprof::profileBatch({}, 0, 0);
+  EXPECT_EQ(empty.requests, 0u);
+  EXPECT_DOUBLE_EQ(empty.efficiency, 0.0);
+  EXPECT_DOUBLE_EQ(empty.serialShare, 0.0);
+}
+
+TEST(ProfTest, RecordBatchFlagsOnlyNewWorstLowEfficiency) {
+  jrprof::resetAll();
+  auto batch = [](double eff, uint64_t requests) {
+    jrprof::BatchProfile p;
+    p.requests = requests;
+    p.efficiency = eff;
+    return p;
+  };
+  // Too small to mean anything, however bad.
+  EXPECT_FALSE(jrprof::recordBatch(
+      batch(0.01, jrprof::kLowEfficiencyMinRequests - 1)));
+  // First qualifying batch under the threshold: new worst.
+  EXPECT_TRUE(jrprof::recordBatch(
+      batch(0.10, jrprof::kLowEfficiencyMinRequests)));
+  // Bad but not worse than the recorded minimum.
+  EXPECT_FALSE(jrprof::recordBatch(
+      batch(0.20, jrprof::kLowEfficiencyMinRequests)));
+  // A new low fires again.
+  EXPECT_TRUE(jrprof::recordBatch(
+      batch(0.05, jrprof::kLowEfficiencyMinRequests)));
+  // Healthy batches never fire.
+  EXPECT_FALSE(jrprof::recordBatch(
+      batch(0.90, jrprof::kLowEfficiencyMinRequests)));
+
+  const jrprof::ProfReport rep = jrprof::report();
+  EXPECT_EQ(rep.batches, 5u);
+}
+
+// --------------------------------------------------------------------------
+// View 3: stage sampler
+
+TEST(ProfTest, SamplerAttributionDeterminism) {
+  jrprof::StageSampler& sampler = jrprof::StageSampler::instance();
+  sampler.reset();
+  jrprof::StageBeacon& beacon = jrprof::threadBeacon();
+
+  beacon.set(jrprof::Stage::kPlan);
+  sampler.sampleOnce();
+  sampler.sampleOnce();
+  sampler.sampleOnce();
+  beacon.set(jrprof::Stage::kCommit);
+  sampler.sampleOnce();
+  sampler.sampleOnce();
+  beacon.set(jrprof::Stage::kIdle);
+
+  const jrprof::StageReport rep = sampler.report();
+  EXPECT_EQ(rep.ticks, 5u);
+  EXPECT_GE(rep.samples, 5u);  // >= one observation of this beacon per tick
+  EXPECT_EQ(rep.perStage[static_cast<size_t>(jrprof::Stage::kPlan)], 3u);
+  EXPECT_EQ(rep.perStage[static_cast<size_t>(jrprof::Stage::kCommit)], 2u);
+  EXPECT_EQ(rep.perStage[static_cast<size_t>(jrprof::Stage::kArbitrate)], 0u);
+  // Shares are over non-idle observations, so they are exact here even
+  // if other (idle) beacons happen to be registered in this process.
+  EXPECT_DOUBLE_EQ(rep.share(static_cast<size_t>(jrprof::Stage::kPlan)),
+                   3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(rep.share(static_cast<size_t>(jrprof::Stage::kCommit)),
+                   2.0 / 5.0);
+  EXPECT_FALSE(rep.text().empty());
+
+  sampler.reset();
+  EXPECT_EQ(sampler.report().ticks, 0u);
+}
+
+TEST(ProfTest, StageScopeIsArmedGated) {
+  if (!jrobs::compiledIn()) {
+    GTEST_SKIP() << "arm() is a no-op under JROUTE_NO_TELEMETRY";
+  }
+  jrprof::StageBeacon& beacon = jrprof::threadBeacon();
+  beacon.set(jrprof::Stage::kIdle);
+  {
+    // Disarmed: a StageScope must not publish anything.
+    jrprof::StageScope scope(jrprof::Stage::kPlan);
+    EXPECT_EQ(beacon.get(), jrprof::Stage::kIdle);
+  }
+  jrprof::arm();
+  {
+    jrprof::StageScope scope(jrprof::Stage::kPlan);
+    EXPECT_EQ(beacon.get(), jrprof::Stage::kPlan);
+    {
+      jrprof::StageScope inner(jrprof::Stage::kCommit);
+      EXPECT_EQ(beacon.get(), jrprof::Stage::kCommit);
+    }
+    EXPECT_EQ(beacon.get(), jrprof::Stage::kPlan);  // restored
+  }
+  EXPECT_EQ(beacon.get(), jrprof::Stage::kIdle);
+  jrprof::disarm();
+}
+
+// --------------------------------------------------------------------------
+// Disarmed fast path
+
+TEST(ProfTest, DisarmedLockPathDoesNotAllocate) {
+#if !JRPROF_TEST_COUNTS_ALLOCS
+  GTEST_SKIP() << "allocation counter unavailable under sanitizers";
+#endif
+  if (jrprof::armed() || jrcheck::activeChecker().armed()) {
+    GTEST_SKIP() << "armed checkers may allocate on first sight by design";
+  }
+  jrsync::Mutex mu("test.prof.noalloc");
+  {
+    jrsync::MutexLock warmup(mu);  // any one-time setup happens here
+  }
+  const uint64_t before = t_allocCalls;
+  for (int i = 0; i < 1000; ++i) {
+    jrsync::MutexLock lk(mu);
+  }
+  EXPECT_EQ(t_allocCalls, before)
+      << "disarmed lock/unlock must stay allocation-free";
+}
+
+// --------------------------------------------------------------------------
+// Report surfaces
+
+TEST(ProfTest, ReportJsonIsValid) {
+  jrprof::resetAll();
+  const uint32_t slot = jrcheck::registerLock("test.prof.json");
+  jrprof::noteAcquire(slot, 2'000, true);
+  jrprof::noteRelease(slot, 4'000);
+  std::vector<jrprof::BatchRequestSample> reqs = {{100, 5, 20, true},
+                                                  {50, 2, 10, false}};
+  jrprof::recordBatch(jrprof::profileBatch(reqs, 200, 2));
+
+  const jrprof::ProfReport rep = jrprof::report();
+  EXPECT_TRUE(jrtest::JsonValidator(rep.json()).valid()) << rep.json();
+  EXPECT_TRUE(jrtest::JsonValidator(rep.locks.json()).valid())
+      << rep.locks.json();
+  EXPECT_TRUE(jrtest::JsonValidator(rep.stages.json()).valid())
+      << rep.stages.json();
+  const jrprof::BatchProfile p = jrprof::profileBatch(reqs, 200, 2);
+  EXPECT_TRUE(jrtest::JsonValidator(p.json()).valid()) << p.json();
+  EXPECT_FALSE(rep.text().empty());
+  EXPECT_FALSE(rep.topText().empty());
+  // The top-contenders table mentions the profiled lock.
+  EXPECT_NE(rep.topText().find("test.prof.json"), std::string::npos);
+}
+
+TEST(ProfTest, ResetAllClearsAccumulatedState) {
+  const uint32_t slot = jrcheck::registerLock("test.prof.reset");
+  jrprof::noteAcquire(slot, 9'000, true);
+  jrprof::noteRelease(slot, 9'000);
+  std::vector<jrprof::BatchRequestSample> reqs(
+      jrprof::kLowEfficiencyMinRequests, {10, 1, 5, true});
+  jrprof::recordBatch(jrprof::profileBatch(reqs, 10'000, 4));
+  ASSERT_NE(findLock(jrprof::lockReport(), "test.prof.reset"), nullptr);
+
+  jrprof::resetAll();
+  EXPECT_EQ(findLock(jrprof::lockReport(), "test.prof.reset"), nullptr);
+  const jrprof::ProfReport rep = jrprof::report();
+  EXPECT_EQ(rep.batches, 0u);
+  EXPECT_EQ(rep.stages.ticks, 0u);
+}
+
+}  // namespace
