@@ -1,0 +1,170 @@
+// jrplan — static workload linter and claim-footprint analyzer CLI.
+//
+//   jrplan lint <script.jr> [--json]       lint a jrsh session script
+//   jrplan stream [--device XCV1000] [--sessions N] [--slots N]
+//                 [--seed N] [--requests N] [--json]
+//                                          lint the seeded jrload workload
+//   jrplan --rules                         list the lint rule catalogue
+//
+// `stream` regenerates exactly the SessionStream jrload would replay for
+// the same device/sessions/slots/seed/requests, so a workload can be
+// vetted before it costs a 10^5-request run. Exit code is the number of
+// *errors* (warnings are free), capped at 125 — a clean workload exits 0.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "arch/device.h"
+#include "common/error.h"
+#include "plan/lint.h"
+#include "plan/lint_script.h"
+#include "plan/lint_stream.h"
+#include "workload/session_stream.h"
+
+namespace {
+
+void usage(FILE* to) {
+  std::fprintf(
+      to,
+      "usage: jrplan lint <script.jr> [--json]\n"
+      "       jrplan stream [--device NAME] [--sessions N] [--slots N]\n"
+      "                     [--seed N] [--requests N] [--json]\n"
+      "       jrplan --rules\n");
+}
+
+int exitCode(const jrplan::LintReport& rep) {
+  const size_t errors = rep.errors();
+  return static_cast<int>(errors > 125 ? 125 : errors);
+}
+
+int emit(const jrplan::LintReport& rep, bool json) {
+  std::printf("%s\n", json ? rep.json().c_str() : rep.summary().c_str());
+  return exitCode(rep);
+}
+
+/// Requests one stream event expands to — keep in lockstep with jrload.
+uint64_t requestsOf(const workload::StreamEvent& e) {
+  switch (e.op) {
+    case workload::StreamOp::kUnroute: return e.srcs.size();
+    case workload::StreamOp::kReconnect: return 2;
+    default: return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(stderr);
+    return 125;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "-h" || cmd == "--help") {
+    usage(stdout);
+    return 0;
+  }
+  if (cmd == "--rules") {
+    for (const jrplan::LintRule* r : jrplan::allLintRules()) {
+      std::printf("%-22s %s\n", r->id, r->description);
+    }
+    return 0;
+  }
+
+  bool json = false;
+  if (cmd == "lint") {
+    std::string path;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
+      } else if (path.empty()) {
+        path = argv[i];
+      } else {
+        usage(stderr);
+        return 125;
+      }
+    }
+    if (path.empty()) {
+      usage(stderr);
+      return 125;
+    }
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "jrplan: cannot open %s\n", path.c_str());
+      return 125;
+    }
+    return emit(jrplan::lintScript(in), json);
+  }
+
+  if (cmd == "stream") {
+    std::string device = "XCV1000";
+    workload::SessionStreamOptions sopts;
+    uint64_t requests = 100000;
+    for (int i = 2; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto value = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "jrplan: %s needs a value\n", a.c_str());
+          return nullptr;
+        }
+        return argv[++i];
+      };
+      const char* v = nullptr;
+      if (a == "--json") {
+        json = true;
+      } else if (a == "--device" && (v = value())) {
+        device = v;
+      } else if (a == "--sessions" && (v = value())) {
+        sopts.sessions = std::atoi(v);
+      } else if (a == "--slots" && (v = value())) {
+        sopts.slotsPerSession = std::atoi(v);
+      } else if (a == "--seed" && (v = value())) {
+        sopts.seed = std::strtoull(v, nullptr, 10);
+      } else if (a == "--requests" && (v = value())) {
+        requests = std::strtoull(v, nullptr, 10);
+      } else {
+        if (v == nullptr && (a == "--device" || a == "--sessions" ||
+                             a == "--slots" || a == "--seed" ||
+                             a == "--requests")) {
+          return 125;  // missing value, already reported
+        }
+        std::fprintf(stderr, "jrplan: unknown argument %s\n", a.c_str());
+        usage(stderr);
+        return 125;
+      }
+    }
+    if (sopts.sessions < 1 || sopts.slotsPerSession < 1 || requests < 1) {
+      std::fprintf(stderr, "jrplan: counts must be positive\n");
+      return 125;
+    }
+    try {
+      const xcvsim::DeviceSpec& dev = xcvsim::deviceByName(device);
+      workload::SessionStream stream(dev, sopts);
+      std::vector<workload::StreamEvent> events;
+      uint64_t planned = 0;
+      while (planned < requests) {
+        events.push_back(stream.next());
+        planned += requestsOf(events.back());
+      }
+      const jrplan::LintReport rep =
+          jrplan::lintEvents(dev, jrplan::toLintEvents(events));
+      if (!json) {
+        std::printf("jrplan: %zu events (%llu requests) on %s, "
+                    "%d sessions x %d slots, seed %llu\n",
+                    events.size(), static_cast<unsigned long long>(planned),
+                    device.c_str(), sopts.sessions, sopts.slotsPerSession,
+                    static_cast<unsigned long long>(sopts.seed));
+      }
+      return emit(rep, json);
+    } catch (const xcvsim::JRouteError& e) {
+      std::fprintf(stderr, "jrplan: %s\n", e.what());
+      return 125;
+    }
+  }
+
+  std::fprintf(stderr, "jrplan: unknown command %s\n", cmd.c_str());
+  usage(stderr);
+  return 125;
+}

@@ -32,6 +32,7 @@
 #include "obs/slo.h"
 #include "obs/spans.h"
 #include "obs/trace.h"
+#include "plan/lint_script.h"
 #include "rtr/boardscope.h"
 #include "rtr/netlist.h"
 #include "rtr/report.h"
@@ -583,6 +584,25 @@ bool cmdNetlist(Session& s, std::istringstream& ls) {
   return true;
 }
 
+bool cmdPlan(Session&, std::istringstream& ls) {
+  // Static workload linter (jrplan): check a session script's net-level
+  // commands for semantic defects before running it. No device needed —
+  // the script names its own (default XCV50).
+  std::string file;
+  if (!(ls >> file)) throw ArgumentError("expected <script.jr> [json]");
+  std::string mode;
+  ls >> mode;
+  const bool json = mode == "json";
+  if (!mode.empty() && !json) {
+    throw ArgumentError("unknown plan mode '" + mode + "' (try json)");
+  }
+  std::ifstream in(file);
+  if (!in) throw ArgumentError("cannot open " + file);
+  const jrplan::LintReport rep = jrplan::lintScript(in);
+  std::cout << (json ? rep.json() : rep.summary()) << "\n";
+  return true;
+}
+
 bool cmdHelp(Session&, std::istringstream&) {
   for (const Command& c : commandTable()) {
     std::string lhs = c.name;
@@ -628,6 +648,8 @@ std::span<const Command> commandTable() {
        "design", true, cmdDrc},
       {"verify", "[json]", "statically verify the device model "
        "(arch/rrg/template/bitstream/lookahead rules)", true, cmdVerify},
+      {"plan", "<script.jr> [json]", "lint a session script with the "
+       "jrplan workload linter before running it", false, cmdPlan},
       {"lookahead", "[json]", "per-device routing lookahead: build cost "
        "and table shape", true, cmdLookahead},
       {"lockcheck", "[json|arm [<seed>]|perturb [<seed>]|off]",

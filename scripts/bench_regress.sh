@@ -42,7 +42,8 @@ path, threshold = sys.argv[1], float(sys.argv[2])
 KEY_FIELDS = [
     "bench", "mode", "workload", "device", "producers", "requests",
     "sessions", "slots", "threads", "seed", "batch", "linger_us",
-    "drc_paranoid", "lockcheck", "prof", "telemetry", "slo_enabled",
+    "certify", "drc_paranoid", "lockcheck", "prof", "telemetry",
+    "slo_enabled",
 ]
 
 groups = {}

@@ -59,10 +59,11 @@ if [[ ! -f build/compile_commands.json ]]; then
 fi
 
 FILES=$(ls src/service/*.cpp src/core/router.cpp src/analysis/*.cpp \
-           src/obs/*.cpp src/verify/*.cpp src/arch/*.cpp src/rrg/*.cpp \
-           src/lookahead/*.cpp src/workload/*.cpp src/check/*.cpp)
+           src/obs/*.cpp src/verify/*.cpp src/plan/*.cpp src/arch/*.cpp \
+           src/rrg/*.cpp src/lookahead/*.cpp src/workload/*.cpp \
+           src/check/*.cpp)
 
-echo "== lint: clang-tidy over service + router + analysis + obs + verify + arch + rrg + lookahead + workload + check =="
+echo "== lint: clang-tidy over service + router + analysis + obs + verify + plan + arch + rrg + lookahead + workload + check =="
 FAIL=0
 for f in $FILES; do
   echo "-- $f"

@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then a bench smoke that
-# appends run records to BENCH_service.json and re-validates the JSONL,
+# Tier-1 verification: full build + test suite, then a certified-planning
+# paranoid pass (JROUTE_PLAN_PARANOID=1) re-arbitrating every jrplan
+# no-conflict wave, then the jrplan workload-lint gate (the anomaly smoke
+# script must lint clean, a malformed script must fail), then a bench
+# smoke that appends run records to BENCH_service.json and re-validates
+# the JSONL, then a certified jrload run asserting zero claim retries
+# and zero paranoid disagreements on no-conflict waves,
 # then a forced-anomaly smoke that schema-checks a flight-recorder dump,
 # then a lockcheck-armed pass (JROUTE_LOCKCHECK=1) over the service and
 # lockcheck tests asserting an empty potential-deadlock report,
@@ -37,11 +42,35 @@ JROUTE_LOCKCHECK=1 ctest --test-dir build --output-on-failure -j "$JOBS" \
   -R 'Service|Lockcheck|Prof'
 
 echo
+echo "== tier 1: certified-planning paranoid pass (JROUTE_PLAN_PARANOID=1) =="
+# Re-runs the planning and service tests with the jrplan paranoid
+# cross-check armed: every certified wave is re-arbitrated before commit
+# and any certificate/arbitration disagreement throws — a lying
+# no-conflict certificate fails tier 1 here.
+JROUTE_PLAN_PARANOID=1 ctest --test-dir build --output-on-failure \
+  -j "$JOBS" -R 'Plan|Service'
+
+echo
 echo "== tier 1: static model verification (jrverify over every device) =="
 # The model verifier's exit code is its finding count: any architecture,
 # graph, template-library, or slot-table inconsistency on any shipped
 # device fails tier 1 here, before a router ever runs on the broken model.
 build/examples/jrverify
+
+echo
+echo "== tier 1: jrplan workload lint gate =="
+# The static linter must pass the documented anomaly-smoke script (its
+# deliberate same-session double-claim is a warning, not an error), and
+# must fail a malformed workload with a non-zero exit before it ever
+# reaches an engine.
+build/examples/jrplan lint scripts/anomaly_smoke.jr
+printf 'auto 1 1 NO_SUCH_WIRE 2 2 S0F1\nunroute 9 9 S1_YQ\n' \
+  > build/plan-bad.jr
+if build/examples/jrplan lint build/plan-bad.jr >/dev/null; then
+  echo "jrplan: malformed workload script did not fail the lint" >&2
+  exit 1
+fi
+echo "jrplan lint gate OK (clean smoke accepted, malformed rejected)"
 
 echo
 echo "== tier 1: jrsh help / README sync =="
@@ -74,6 +103,11 @@ fi
 # (service.fabric) must appear in it. The SLO-tagged p50/p99 record
 # appends to BENCH_service.json and the JSONL validator then re-reads
 # the whole file including it.
+# Lint the exact seeded stream the run below will replay, before it
+# costs a 10^5-request execution: the stream generator is deterministic,
+# so jrplan vets the very same requests jrload is about to submit.
+build/examples/jrplan stream --device XCV1000 --sessions 100 \
+  --requests "${JRLOAD_REQUESTS:-100000}"
 PROF_JSON=build/jrload-prof.json
 JROUTE_BENCH_RECORD="$PWD/BENCH_service.json" JROUTE_PROF=1 \
   build/examples/jrload --device XCV1000 --sessions 100 \
@@ -100,6 +134,21 @@ else
 fi
 JROUTE_BENCH_JSONL="$PWD/BENCH_service.json" \
   ctest --test-dir build --output-on-failure -R 'ObsBenchRecord'
+
+echo
+echo "== tier 1: certified jrload run (no-conflict waves, paranoid) =="
+# The same mixed workload planned as jrplan certified waves with the
+# paranoid cross-check armed: a certificate/arbitration disagreement
+# aborts the run (non-zero exit), and because certified planning never
+# races a CAS, the run must finish with zero claim retries — both are
+# asserted on the printed stats line.
+CERT_OUT=build/jrload-certify.out
+JROUTE_PLAN_PARANOID=1 \
+  build/examples/jrload --device XCV1000 --sessions 100 \
+  --requests "${JRLOAD_CERT_REQUESTS:-10000}" --certify | tee "$CERT_OUT"
+grep -q ' 0 claim retries on certified plans' "$CERT_OUT"
+grep -q ' 0 paranoid disagreement(s)' "$CERT_OUT"
+echo "certified jrload OK (zero claim retries, zero disagreements)"
 
 echo
 echo "== tier 1: anomaly flight-recorder smoke =="
@@ -132,7 +181,7 @@ cmake --build build-tsan -j "$JOBS" --target jr_tests
 # never produce. Any failure is replayable from the printed seed.
 JROUTE_LOCKCHECK=perturb JROUTE_LOCKCHECK_SEED=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'Service|Obs|Lookahead|Lockcheck|Prof'
+  -R 'Service|Obs|Lookahead|Lockcheck|Prof|Plan'
 
 echo
 echo "== tier 1: ASan+UBSan pass (service + DRC analyzer + telemetry) =="
@@ -140,7 +189,7 @@ cmake -B build-asan -S . -DJROUTE_ASAN=ON -DJROUTE_UBSAN=ON \
   -DJROUTE_BUILD_BENCH=OFF -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$JOBS" --target jr_tests
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'Service|Drc|Obs|Verify|Lookahead|Lockcheck|Prof'
+  -R 'Service|Drc|Obs|Verify|Lookahead|Lockcheck|Prof|Plan'
 
 echo
 echo "== tier 1: telemetry-compiled-out build (JROUTE_NO_TELEMETRY) =="
@@ -148,7 +197,7 @@ cmake -B build-notelem -S . -DJROUTE_NO_TELEMETRY=ON \
   -DJROUTE_BUILD_BENCH=OFF -DJROUTE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-notelem -j "$JOBS" --target jr_tests
 ctest --test-dir build-notelem --output-on-failure -j "$JOBS" \
-  -R 'Service|Drc|Obs|Verify|Lookahead|Lockcheck|Prof'
+  -R 'Service|Drc|Obs|Verify|Lookahead|Lockcheck|Prof|Plan'
 
 echo
 echo "== tier 1: lint =="

@@ -1,0 +1,72 @@
+#include "plan/certificate.h"
+
+#include <sstream>
+
+#include "obs/jsonutil.h"
+
+namespace jrplan {
+
+size_t NoConflictCertificate::certifiedCount() const {
+  size_t n = 0;
+  for (const Wave& w : waves) n += w.members.size();
+  return n;
+}
+
+std::string NoConflictCertificate::json() const {
+  std::ostringstream os;
+  os << "{\"waves\":[";
+  for (size_t i = 0; i < waves.size(); ++i) {
+    if (i) os << ',';
+    os << "{\"members\":[";
+    for (size_t j = 0; j < waves[i].members.size(); ++j) {
+      if (j) os << ',';
+      os << waves[i].members[j];
+    }
+    os << "],\"cells\":" << waves[i].unionFp.cellCount() << '}';
+  }
+  os << "],\"uncertified\":[";
+  for (size_t i = 0; i < uncertified.size(); ++i) {
+    if (i) os << ',';
+    os << uncertified[i];
+  }
+  os << "],\"certified\":" << certifiedCount() << '}';
+  return os.str();
+}
+
+NoConflictCertificate planBatch(const RegionGrid& grid,
+                                std::vector<Footprint> footprints) {
+  NoConflictCertificate cert;
+  cert.footprints = std::move(footprints);
+  for (size_t i = 0; i < cert.footprints.size(); ++i) {
+    const Footprint& fp = cert.footprints[i];
+    if (!fp.sound()) {
+      cert.uncertified.push_back(i);
+      continue;
+    }
+    Wave* home = nullptr;
+    for (Wave& w : cert.waves) {
+      if (!w.unionFp.intersects(fp)) {
+        home = &w;
+        break;
+      }
+    }
+    if (home == nullptr) {
+      cert.waves.emplace_back();
+      home = &cert.waves.back();
+      home->unionFp = Footprint(grid);
+    }
+    home->members.push_back(i);
+    home->unionFp.unite(fp);
+  }
+  return cert;
+}
+
+NoConflictCertificate planBatch(const FootprintExtractor& extractor,
+                                const std::vector<RouteSpec>& specs) {
+  std::vector<Footprint> fps;
+  fps.reserve(specs.size());
+  for (const RouteSpec& spec : specs) fps.push_back(extractor.extract(spec));
+  return planBatch(extractor.grid(), std::move(fps));
+}
+
+}  // namespace jrplan

@@ -1,0 +1,47 @@
+// No-conflict certificates: greedy-color a batch of requests by
+// footprint interference into waves whose members are pairwise
+// cell-disjoint. Within one wave no two plans can claim the same node
+// (node → cell is a pure function), so the service engine may plan and
+// commit a certified wave with claim arbitration skipped. Requests whose
+// footprint is unsound stay uncertified and take the ordinary
+// arbitration path. See DESIGN.md §18.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "plan/footprint.h"
+
+namespace jrplan {
+
+/// One conflict-free wave: indices into the planned batch, plus the
+/// union footprint (used by the paranoid cross-check and for metrics).
+struct Wave {
+  std::vector<size_t> members;
+  Footprint unionFp;
+};
+
+/// The analyzer's verdict over one batch.
+struct NoConflictCertificate {
+  std::vector<Wave> waves;
+  std::vector<size_t> uncertified;  ///< unsound-footprint batch indices
+  std::vector<Footprint> footprints;  ///< per-request, parallel to input
+
+  size_t certifiedCount() const;
+  std::string json() const;
+};
+
+/// Greedy interference coloring: each sound request joins the first wave
+/// whose union footprint it does not intersect, else opens a new wave.
+/// Deterministic for a given batch order.
+NoConflictCertificate planBatch(const FootprintExtractor& extractor,
+                                const std::vector<RouteSpec>& specs);
+
+/// Same coloring over pre-extracted footprints (the service computes
+/// per-request footprints itself to mirror exactly how the planner will
+/// decompose each request into nets).
+NoConflictCertificate planBatch(const RegionGrid& grid,
+                                std::vector<Footprint> footprints);
+
+}  // namespace jrplan

@@ -1,0 +1,97 @@
+// jrplan workload linter: static semantic checks over a request stream
+// before it runs. A 10^5-request jrload session or a scripted jrsh
+// session can carry defects — unrouting a net that was never routed,
+// claiming a sink twice, reconnecting a missing core, touching another
+// session's net — that only surface as rejects deep into the run. The
+// linter interprets the stream symbolically (net ownership, sink usage,
+// teardown history) and reports deterministic findings in the
+// DRC/jrverify house style.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "arch/device.h"
+#include "plan/footprint.h"
+
+namespace jrplan {
+
+enum class Severity : uint8_t { kError, kWarning };
+
+const char* severityName(Severity s);
+
+/// One lint finding. `request` is the event index in the linted stream;
+/// `entity` names the pin/net; `hint` says how to fix it.
+struct Finding {
+  std::string rule;
+  Severity severity = Severity::kError;
+  int request = -1;
+  std::string entity;
+  std::string message;
+  std::string hint;
+};
+
+/// One event of the linted stream: a session-tagged RouteSpec plus where
+/// it came from ("line 12", "event 4081") for the report.
+struct LintEvent {
+  std::string session;
+  RouteSpec spec;
+  std::string origin;
+};
+
+struct LintReport {
+  std::vector<Finding> findings;
+  std::vector<std::string> rulesRun;
+  size_t eventsChecked = 0;
+
+  size_t errors() const;
+  size_t warnings() const;
+  bool clean() const { return errors() == 0; }
+  bool firedRule(const std::string& id) const;
+  std::string summary() const;
+  std::string json() const;
+};
+
+/// Symbolic interpreter state threaded through the stream. Rules read
+/// it; the interpreter (lintEvents) updates it after each event, only
+/// for the effects the service would actually accept.
+class LintState {
+ public:
+  struct NetState {
+    std::string session;
+    std::vector<uint64_t> sinks;
+  };
+
+  static uint64_t pinKey(const Pin& p) {
+    return (static_cast<uint64_t>(static_cast<uint16_t>(p.rc.row)) << 32) |
+           (static_cast<uint64_t>(static_cast<uint16_t>(p.rc.col)) << 16) |
+           p.wire;
+  }
+
+  std::unordered_map<uint64_t, NetState> live;       ///< src pin → net
+  std::unordered_map<uint64_t, uint64_t> usedSinks;  ///< sink pin → src pin
+  std::unordered_set<uint64_t> everRouted;           ///< src pins, all time
+};
+
+/// One lint rule, jrverify-style: a stable id, a one-liner, and a check
+/// invoked per event against the pre-event state.
+struct LintRule {
+  const char* id;
+  const char* description;
+  void (*check)(const xcvsim::DeviceSpec& dev, const LintState& state,
+                const LintEvent& ev, int index, LintReport& out);
+};
+
+const std::vector<const LintRule*>& allLintRules();
+
+/// Lint a stream of events against a device. Deterministic: same input,
+/// same findings in the same order.
+LintReport lintEvents(const xcvsim::DeviceSpec& dev,
+                      const std::vector<LintEvent>& events);
+
+std::string pinName(const Pin& p);
+
+}  // namespace jrplan

@@ -1,0 +1,137 @@
+#include "plan/lint_script.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "arch/device.h"
+#include "arch/wires.h"
+#include "common/error.h"
+
+namespace jrplan {
+
+using xcvsim::kNumLocalWires;
+using xcvsim::LocalWire;
+
+namespace {
+
+/// Mirrors jrsh's lookupWire: numeric id or symbolic name.
+bool lookupWire(const std::string& token, LocalWire& out) {
+  if (!token.empty() && std::isdigit(static_cast<unsigned char>(token[0]))) {
+    out = static_cast<LocalWire>(std::stoi(token));
+    return true;
+  }
+  for (LocalWire w = 0; w < kNumLocalWires; ++w) {
+    if (xcvsim::wireName(w) == token) {
+      out = w;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool readPin(std::istringstream& ls, Pin& out, std::string& err) {
+  int r = 0;
+  int c = 0;
+  std::string w;
+  if (!(ls >> r >> c >> w)) {
+    err = "expected <row> <col> <wire>";
+    return false;
+  }
+  LocalWire wire = xcvsim::kInvalidLocalWire;
+  if (!lookupWire(w, wire)) {
+    err = "unknown wire '" + w + "'";
+    return false;
+  }
+  out = Pin(r, c, wire);
+  return true;
+}
+
+}  // namespace
+
+ScriptWorkload parseScript(std::istream& in) {
+  ScriptWorkload out;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    std::istringstream ls(line);
+    std::string cmd;
+    if (!(ls >> cmd) || cmd[0] == '#') continue;
+    const std::string origin = "line " + std::to_string(lineNo);
+    auto fail = [&](const std::string& why) {
+      out.parseErrors.push_back(origin + ": " + cmd + ": " + why);
+    };
+    LintEvent ev;
+    ev.session = "shell";
+    ev.origin = origin;
+    std::string err;
+    if (cmd == "device") {
+      ls >> out.device;
+    } else if (cmd == "auto") {
+      Pin src;
+      Pin sink;
+      if (!readPin(ls, src, err) || !readPin(ls, sink, err)) {
+        fail(err);
+        continue;
+      }
+      ev.spec.op = SpecOp::kP2P;
+      ev.spec.srcs = {src};
+      ev.spec.sinks = {sink};
+      out.events.push_back(std::move(ev));
+    } else if (cmd == "fanout") {
+      Pin src;
+      int n = 0;
+      if (!readPin(ls, src, err) || !(ls >> n)) {
+        fail(err.empty() ? "expected <n> after the source pin" : err);
+        continue;
+      }
+      ev.spec.op = SpecOp::kFanout;
+      ev.spec.srcs = {src};
+      bool ok = true;
+      for (int i = 0; i < n; ++i) {
+        Pin sink;
+        if (!readPin(ls, sink, err)) {
+          fail(err);
+          ok = false;
+          break;
+        }
+        ev.spec.sinks.push_back(sink);
+      }
+      if (ok) out.events.push_back(std::move(ev));
+    } else if (cmd == "unroute") {
+      Pin src;
+      if (!readPin(ls, src, err)) {
+        fail(err);
+        continue;
+      }
+      ev.spec.op = SpecOp::kUnroute;
+      ev.spec.srcs = {src};
+      out.events.push_back(std::move(ev));
+    }
+    // Every other command is net-neutral for lint purposes.
+  }
+  return out;
+}
+
+LintReport lintScript(std::istream& in) {
+  ScriptWorkload wl = parseScript(in);
+  LintReport rep;
+  const xcvsim::DeviceSpec* dev = nullptr;
+  try {
+    dev = &xcvsim::deviceByName(wl.device.empty() ? "XCV50" : wl.device);
+  } catch (const xcvsim::ArgumentError&) {
+    rep.findings.push_back(Finding{"lint-malformed", Severity::kError, -1,
+                                   wl.device, "unknown device",
+                                   "see `device` in jrsh help"});
+    return rep;
+  }
+  rep = lintEvents(*dev, wl.events);
+  for (const std::string& err : wl.parseErrors) {
+    rep.findings.push_back(Finding{"lint-malformed", Severity::kError, -1,
+                                   err.substr(0, err.find(':')), err,
+                                   "fix the script syntax"});
+  }
+  return rep;
+}
+
+}  // namespace jrplan

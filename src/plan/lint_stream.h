@@ -1,0 +1,44 @@
+// Header-only adapter from the workload generator's StreamEvents to
+// lint events. Lives here (not in lint.cpp) so jr_plan never links
+// jr_workload: StreamEvent is a plain struct, and only callers that
+// already depend on both libraries (jrplan CLI, jrload, tests)
+// instantiate this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plan/lint.h"
+#include "workload/session_stream.h"
+
+namespace jrplan {
+
+inline SpecOp specOpOf(workload::StreamOp op) {
+  switch (op) {
+    case workload::StreamOp::kP2P: return SpecOp::kP2P;
+    case workload::StreamOp::kFanout: return SpecOp::kFanout;
+    case workload::StreamOp::kBus: return SpecOp::kBus;
+    case workload::StreamOp::kUnroute: return SpecOp::kUnroute;
+    case workload::StreamOp::kReconnect: return SpecOp::kReconnect;
+  }
+  return SpecOp::kP2P;
+}
+
+inline std::vector<LintEvent> toLintEvents(
+    const std::vector<workload::StreamEvent>& events) {
+  std::vector<LintEvent> out;
+  out.reserve(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    const workload::StreamEvent& ev = events[i];
+    LintEvent le;
+    le.session = "session " + std::to_string(ev.session);
+    le.spec.op = specOpOf(ev.op);
+    le.spec.srcs = ev.srcs;
+    le.spec.sinks = ev.sinks;
+    le.origin = "event " + std::to_string(i);
+    out.push_back(std::move(le));
+  }
+  return out;
+}
+
+}  // namespace jrplan

@@ -1,6 +1,7 @@
 #include "verify/verify.h"
 
 #include <chrono>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -117,6 +118,11 @@ ModelView makeModelView(const Graph& graph, const PipTable& table,
   };
   m.templates = [dev](RowCol from, RowCol to) {
     return jroute::templatesFor(*dev, from, to, true, true);
+  };
+  // The extractor outlives the view through the shared capture.
+  auto fx = std::make_shared<jrplan::FootprintExtractor>(graph, fabric);
+  m.footprint = [fx](jroute::Pin src, jroute::Pin sink) {
+    return fx->extractPair(src, sink);
   };
   const jrla::Lookahead* la = &jrla::Lookahead::forGraph(graph);
   m.lookaheadEstimate = [la](NodeId from, NodeId to) {

@@ -263,6 +263,29 @@ TEST(VerifyMutationTest, TemplateReplayFiresOnHexIntoClbIn) {
   EXPECT_TRUE(m.run().firedRule("tpl-replay"));
 }
 
+TEST(VerifyMutationTest, TemplateFootprintFiresOnEmptiedFootprint) {
+  // Starve the footprint hook: an extractor that returns an empty cell
+  // set cannot contain any replayed wire, so the consistency rule must
+  // fire on the very first successful replay.
+  ArchMutator m;
+  m.view().footprint = [](jroute::Pin, jroute::Pin) {
+    return jrplan::Footprint(
+        jrplan::RegionGrid(model().graph.device()));
+  };
+  EXPECT_TRUE(m.run().firedRule("template-footprint-consistent"));
+}
+
+TEST(VerifyMutationTest, TemplateFootprintFiresOnUnsoundFootprint) {
+  ArchMutator m;
+  const auto real = m.view().footprint;
+  m.view().footprint = [real](jroute::Pin src, jroute::Pin sink) {
+    jrplan::Footprint fp = real(src, sink);
+    fp.markUnsound();
+    return fp;
+  };
+  EXPECT_TRUE(m.run().firedRule("template-footprint-consistent"));
+}
+
 TEST(VerifyMutationTest, SlotRoundtripFiresOnSwappedSlots) {
   ArchMutator m;
   const auto real = m.view().keyAt;
@@ -337,6 +360,7 @@ TEST(VerifyMutationTest, EveryRuleHasALivenessProof) {
       "arch-driver-class",  "arch-template-class", "rrg-edge-bijection",
       "rrg-alias-roundtrip", "rrg-sink-reachable", "rrg-orphan-node",
       "tpl-displacement",   "tpl-bounds",          "tpl-replay",
+      "template-footprint-consistent",
       "bit-slot-roundtrip", "bit-key-coverage",    "bit-no-aliasing",
       "bit-encode-decode",  "lookahead-admissible",
   };
